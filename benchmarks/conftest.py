@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure from the paper: it runs
+the experiment once under pytest-benchmark (wall time measures the
+simulation, the *result* is the simulated metrics), prints the
+paper-style table, and asserts the shape claims — who wins, by roughly
+what factor, where the crossovers are.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark fixture and return its
+    ResultTable (also printed for the record)."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    result.show()
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_experiment(benchmark, fn, *args, **kwargs)
+
+    return runner

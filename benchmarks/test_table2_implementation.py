@@ -1,0 +1,22 @@
+"""Table 2: implementation size inventory (the reproduction analogue).
+
+The paper's Table 2 records 517/1303/885/1496 lines added or modified
+across kernel / ext4 / driver / UserLib.  The reproduction builds every
+layer from scratch, so the equivalent components are whole modules of
+comparable magnitude.
+"""
+
+from repro.bench import table2_implementation_size
+
+
+def test_table2(experiment):
+    table = experiment(table2_implementation_size)
+    sizes = dict(zip(table.column("Component"),
+                     table.column("Lines of code")))
+    # Every component exists and is non-trivial.
+    assert all(v > 300 for v in sizes.values())
+    # The BypassD-specific pieces are of the paper's magnitude
+    # (hundreds to low thousands of lines, not tens of thousands).
+    for label, value in sizes.items():
+        if "paper:" in label:
+            assert 300 < value < 5000, label

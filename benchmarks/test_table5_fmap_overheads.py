@@ -1,0 +1,42 @@
+"""Table 5: fmap() overheads in BypassD.
+
+Paper (open / open+warm / open+cold, us):
+    4KB   1.28 /  1.96 /    2.68
+    1MB   1.38 /  1.96 /    3.67
+    64MB  1.74 /  2.76 /   85.51
+    256MB 1.59 /  5.79 /  333.93
+    1GB   1.80 / 17.94 / 1330.75
+    16GB  2.10 / 259.94 / 21197.88
+
+Warm fmap is near-constant per 2 MB (pointer attach); cold fmap is
+linear in file size (entry population).
+"""
+
+from repro.bench import table5_fmap_overheads
+from repro.hw.params import GiB, KiB, MiB
+
+PAPER = {
+    "4KB": (1.28, 1.96, 2.68),
+    "1MB": (1.38, 1.96, 3.67),
+    "64MB": (1.74, 2.76, 85.51),
+    "256MB": (1.59, 5.79, 333.93),
+    "1GB": (1.80, 17.94, 1330.75),
+    "16GB": (2.10, 259.94, 21197.88),
+}
+
+
+def test_table5(experiment):
+    table = experiment(table5_fmap_overheads)
+    rows = table.by("File size")
+    for label, (p_open, p_warm, p_cold) in PAPER.items():
+        _, m_open, m_warm, m_cold = rows[label]
+        # Warm fmap within 2x of the paper at every size.
+        assert m_warm / p_warm < 2.0 and p_warm / m_warm < 2.0, \
+            f"warm fmap off at {label}: {m_warm} vs {p_warm}"
+        # Cold fmap within 2x for the sizes dominated by population.
+        if label not in ("4KB", "1MB"):
+            assert m_cold / p_cold < 2.0 and p_cold / m_cold < 2.0, \
+                f"cold fmap off at {label}: {m_cold} vs {p_cold}"
+    # Structural claims: warm is cheap and sublinear; cold is linear.
+    assert rows["16GB"][3] > 100 * rows["64MB"][3]      # cold linear
+    assert rows["1GB"][2] < rows["1GB"][3] / 20          # warm << cold

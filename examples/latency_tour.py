@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""A tour of the paper's latency landscape, in one run.
+
+Prints four mini-experiments:
+- Table 1's layer-by-layer cost of a kernel read,
+- the Figure 6 engine ladder at 4 KB and 128 KB,
+- the Figure 9 thread-scaling knee,
+- the Table 5 warm/cold fmap costs.
+
+Run:  python examples/latency_tour.py        (takes ~1 minute)
+"""
+
+from repro.bench import (
+    fig6_fio_latency,
+    fig9_thread_scaling,
+    table1_latency_breakdown,
+    table5_fmap_overheads,
+)
+from repro.hw.params import GiB, KiB, MiB
+
+
+def main() -> None:
+    table1_latency_breakdown().show()
+
+    fig6_fio_latency(rw="randread",
+                     engines=("sync", "io_uring", "spdk", "bypassd"),
+                     sizes=(4 * KiB, 128 * KiB), ops=48).show()
+
+    fig9_thread_scaling(engines=("sync", "io_uring", "bypassd"),
+                        thread_counts=(1, 8, 12, 16, 24),
+                        ops=80).show()
+
+    table5_fmap_overheads(sizes=(4 * KiB, 1 * MiB, 256 * MiB,
+                                 1 * GiB)).show()
+
+
+if __name__ == "__main__":
+    main()

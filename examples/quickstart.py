@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: open a file through BypassD and feel the difference.
+
+Builds the simulated machine (Xeon + IOMMU + Optane-class NVMe + ext4),
+writes and reads a file through the BypassD interface, and compares the
+4 KB read latency with the standard kernel path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine
+from repro.baselines import make_engine
+
+
+def main() -> None:
+    machine = Machine(capacity_bytes=2 << 30, memory_bytes=512 << 20)
+
+    # -- a process using the BypassD interface ---------------------------
+    proc = machine.spawn_process("app")
+    lib = machine.userlib(proc)
+    thread = proc.new_thread()
+
+    def workload():
+        # open() goes to the kernel; fmap() attaches the file's blocks
+        # into our address space as File Table Entries.
+        f = yield from lib.open(thread, "/hello.dat", write=True,
+                                create=True)
+        print(f"direct path: {f.using_direct_path}, "
+              f"starting VBA: {f.state.vba:#x}")
+
+        # Appends modify metadata -> routed to the kernel (Table 3).
+        yield from f.append(thread, 4096, b"hello, bypassd! " * 256)
+
+        # Reads and overwrites go straight to the device from userspace.
+        t0 = machine.now
+        n, data = yield from f.pread(thread, 0, 4096)
+        print(f"direct 4KB read: {(machine.now - t0) / 1000:.2f} us "
+              f"(device alone is ~4.02 us)")
+        assert data is not None and data.startswith(b"hello, bypassd! ")
+
+        yield from f.pwrite(thread, 0, 4096, b"x" * 4096)
+        yield from f.fsync(thread)
+        yield from f.close(thread)
+
+    machine.run_process(workload())
+
+    # -- the same read through the kernel interface ------------------------
+    proc2 = machine.spawn_process("legacy")
+    sync = make_engine(machine, proc2, "sync")
+    thread2 = proc2.new_thread()
+
+    def legacy():
+        f = yield from sync.open(thread2, "/hello.dat")
+        t0 = machine.now
+        yield from f.pread(thread2, 0, 4096)
+        print(f"kernel 4KB read: {(machine.now - t0) / 1000:.2f} us "
+              f"(Table 1 says 7.85 us)")
+        yield from f.close(thread2)
+
+    machine.run_process(legacy())
+    print(f"UserLib stats: {lib.direct_reads} direct reads, "
+          f"{lib.direct_writes} direct writes, "
+          f"{lib.kernel_fallbacks} fallbacks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""BypassD reproduction: fast userspace access to shared SSDs, simulated.
+
+Reproduces Yadalam et al., "BypassD: Enabling fast userspace access to
+shared SSDs" (ASPLOS 2024) as a discrete-event simulation: the NVMe
+device, the IOMMU with the proposed VBA->LBA extension, an ext4-like
+filesystem, the Linux-style kernel I/O stack, the BypassD UserLib, and
+the paper's baselines (sync, libaio, io_uring, SPDK, XRP) and workloads
+(fio, WiredTiger, BPF-KV, KVell, YCSB).
+
+Quickstart::
+
+    from repro import Machine
+
+    machine = Machine()
+    proc = machine.spawn_process("app")
+    lib = machine.userlib(proc)
+    thread = proc.new_thread()
+
+    def workload():
+        f = yield from lib.open(thread, "/data", write=True, create=True)
+        yield from f.append(thread, 4096, b"a" * 4096)
+        n, data = yield from f.pread(thread, 0, 4096)
+        yield from f.close(thread)
+        return data
+
+    print(machine.run_process(workload))
+"""
+
+from .hw.params import DEFAULT_PARAMS, GiB, HardwareParams, KiB, MiB
+from .machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "GiB",
+    "HardwareParams",
+    "KiB",
+    "MiB",
+    "Machine",
+    "__version__",
+]

@@ -1,0 +1,344 @@
+"""A real on-disk B-tree key-value store.
+
+Unlike the paper-scale *models* (WiredTiger/BPF-KV/KVell, which compute
+node positions implicitly), this store serialises actual nodes to the
+simulated SSD through any engine file — bytes written survive close and
+re-open, which makes it the vehicle for end-to-end data-integrity tests
+and for the examples.
+
+Layout: 4 KB pages.  Page 0 is the superblock; nodes are append-
+allocated.  Leaf pages hold (key, value) byte strings; internal pages
+hold separator keys and child page numbers.  Writes are write-through:
+a modified node is serialised and written before the operation returns
+(matching BypassD's synchronous-interface guarantees, Section 4.4).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Optional, Tuple
+
+from ..sim.cpu import Thread
+
+__all__ = ["KVStore", "KVError"]
+
+PAGE = 4096
+_MAGIC = b"BYPD-KV1"
+_LEAF, _INTERNAL = 0, 1
+_MAX_KEY = 256
+_MAX_VAL = 2048
+# Serialized entry overhead: 2B key len + 2B val len.
+_HDR = struct.Struct("<B H")          # node type, count
+_SB = struct.Struct("<8s Q Q Q")      # magic, root, page_count, items
+
+
+class KVError(Exception):
+    pass
+
+
+class _Node:
+    __slots__ = ("kind", "keys", "values", "children", "page")
+
+    def __init__(self, kind: int, page: int):
+        self.kind = kind
+        self.page = page
+        self.keys: List[bytes] = []
+        self.values: List[bytes] = []      # leaves only
+        self.children: List[int] = []      # internal only
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = [_HDR.pack(self.kind, len(self.keys))]
+        if self.kind == _LEAF:
+            for k, v in zip(self.keys, self.values):
+                out.append(struct.pack("<HH", len(k), len(v)))
+                out.append(k)
+                out.append(v)
+        else:
+            out.append(struct.pack("<Q", self.children[0]))
+            for k, c in zip(self.keys, self.children[1:]):
+                out.append(struct.pack("<H", len(k)))
+                out.append(k)
+                out.append(struct.pack("<Q", c))
+        blob = b"".join(out)
+        if len(blob) > PAGE:
+            raise KVError(f"node overflow: {len(blob)} bytes")
+        return blob + bytes(PAGE - len(blob))
+
+    @classmethod
+    def from_bytes(cls, page: int, blob: bytes) -> "_Node":
+        kind, count = _HDR.unpack_from(blob, 0)
+        node = cls(kind, page)
+        pos = _HDR.size
+        if kind == _LEAF:
+            for _ in range(count):
+                klen, vlen = struct.unpack_from("<HH", blob, pos)
+                pos += 4
+                node.keys.append(blob[pos:pos + klen]); pos += klen
+                node.values.append(blob[pos:pos + vlen]); pos += vlen
+        elif kind == _INTERNAL:
+            (child,) = struct.unpack_from("<Q", blob, pos)
+            pos += 8
+            node.children.append(child)
+            for _ in range(count):
+                (klen,) = struct.unpack_from("<H", blob, pos)
+                pos += 2
+                node.keys.append(blob[pos:pos + klen]); pos += klen
+                (child,) = struct.unpack_from("<Q", blob, pos)
+                pos += 8
+                node.children.append(child)
+        else:
+            raise KVError(f"bad node type {kind} in page {page}")
+        return node
+
+    def serialized_size(self) -> int:
+        if self.kind == _LEAF:
+            return (_HDR.size
+                    + sum(4 + len(k) + len(v)
+                          for k, v in zip(self.keys, self.values)))
+        return (_HDR.size + 8
+                + sum(2 + len(k) + 8 for k in self.keys))
+
+    def is_overfull(self) -> bool:
+        return self.serialized_size() > PAGE - 64
+
+
+class KVStore:
+    """B-tree over one engine file.  All methods are generators."""
+
+    def __init__(self, file, thread: Thread):
+        self._file = file
+        self._thread = thread
+        self.root_page = 1
+        self.page_count = 2
+        self.item_count = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, file, thread: Thread) -> Generator:
+        """Format a fresh store (empty root leaf)."""
+        store = cls(file, thread)
+        root = _Node(_LEAF, 1)
+        yield from store._write_node(root)
+        yield from store._write_super()
+        return store
+
+    @classmethod
+    def open(cls, file, thread: Thread) -> Generator:
+        """Open an existing store, validating the superblock."""
+        store = cls(file, thread)
+        n, blob = yield from file.pread(thread, 0, PAGE)
+        if n < _SB.size or blob is None:
+            raise KVError("missing superblock")
+        magic, root, pages, items = _SB.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise KVError(f"bad magic {magic!r}")
+        store.root_page, store.page_count, store.item_count = \
+            root, pages, items
+        return store
+
+    def _write_super(self) -> Generator:
+        blob = _SB.pack(_MAGIC, self.root_page, self.page_count,
+                        self.item_count)
+        yield from self._file.pwrite(self._thread, 0, PAGE,
+                                     blob + bytes(PAGE - len(blob)))
+
+    # -- node I/O ------------------------------------------------------------
+
+    def _read_node(self, page: int) -> Generator:
+        self.reads += 1
+        n, blob = yield from self._file.pread(self._thread, page * PAGE,
+                                              PAGE)
+        if blob is None:
+            raise KVError("KVStore needs a data-capturing machine")
+        if n < PAGE:
+            blob = blob + bytes(PAGE - n)
+        return _Node.from_bytes(page, blob)
+
+    def _write_node(self, node: _Node) -> Generator:
+        self.writes += 1
+        yield from self._file.pwrite(self._thread, node.page * PAGE,
+                                     PAGE, node.to_bytes())
+
+    def _alloc_page(self) -> int:
+        page = self.page_count
+        self.page_count += 1
+        return page
+
+    # -- operations -----------------------------------------------------------
+
+    def get(self, key: bytes) -> Generator:
+        """Returns the value or None."""
+        self._check_key(key)
+        node = yield from self._read_node(self.root_page)
+        while node.kind == _INTERNAL:
+            idx = self._child_index(node, key)
+            node = yield from self._read_node(node.children[idx])
+        idx = self._leaf_index(node, key)
+        if idx is not None:
+            return node.values[idx]
+        return None
+
+    def put(self, key: bytes, value: bytes) -> Generator:
+        self._check_key(key)
+        if len(value) > _MAX_VAL:
+            raise KVError(f"value too large ({len(value)} bytes)")
+        split = yield from self._insert(self.root_page, key, value)
+        if split is not None:
+            sep, new_page = split
+            old_root = self.root_page
+            root = _Node(_INTERNAL, self._alloc_page())
+            root.keys = [sep]
+            root.children = [old_root, new_page]
+            yield from self._write_node(root)
+            self.root_page = root.page
+        yield from self._write_super()
+
+    def _insert(self, page: int, key: bytes,
+                value: bytes) -> Generator:
+        node = yield from self._read_node(page)
+        if node.kind == _LEAF:
+            idx = self._leaf_index(node, key)
+            if idx is not None:
+                node.values[idx] = value
+            else:
+                pos = self._insert_pos(node.keys, key)
+                node.keys.insert(pos, key)
+                node.values.insert(pos, value)
+                self.item_count += 1
+            if node.is_overfull():
+                return (yield from self._split_leaf(node))
+            yield from self._write_node(node)
+            return None
+        idx = self._child_index(node, key)
+        split = yield from self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, new_page = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, new_page)
+        if node.is_overfull():
+            return (yield from self._split_internal(node))
+        yield from self._write_node(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Generator:
+        mid = len(node.keys) // 2
+        right = _Node(_LEAF, self._alloc_page())
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        yield from self._write_node(right)
+        yield from self._write_node(node)
+        return right.keys[0], right.page
+
+    def _split_internal(self, node: _Node) -> Generator:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(_INTERNAL, self._alloc_page())
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        yield from self._write_node(right)
+        yield from self._write_node(node)
+        return sep, right.page
+
+    def scan(self, start: bytes, count: int) -> Generator:
+        """Up to ``count`` (key, value) pairs with key >= start."""
+        self._check_key(start)
+        out: List[Tuple[bytes, bytes]] = []
+        # Depth-first in key order, pruning subtrees left of start.
+        node = yield from self._read_node(self.root_page)
+        path = []
+        while node.kind == _INTERNAL:
+            idx = self._child_index(node, start)
+            path.append((node, idx))
+            node = yield from self._read_node(node.children[idx])
+        while len(out) < count:
+            for k, v in zip(node.keys, node.values):
+                if k >= start and len(out) < count:
+                    out.append((k, v))
+            # Climb to the next right sibling.
+            while path:
+                parent, idx = path.pop()
+                if idx + 1 < len(parent.children):
+                    path.append((parent, idx + 1))
+                    node = yield from self._read_node(
+                        parent.children[idx + 1])
+                    while node.kind == _INTERNAL:
+                        path.append((node, 0))
+                        node = yield from self._read_node(
+                            node.children[0])
+                    break
+            else:
+                break
+            if len(out) >= count:
+                break
+        return out
+
+    def flush(self) -> Generator:
+        yield from self._file.fsync(self._thread)
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_tree(self) -> Generator:
+        """Verify ordering and reachability; raises on corruption."""
+        count = yield from self._check_node(self.root_page, None, None)
+        if count != self.item_count:
+            raise AssertionError(
+                f"item count {self.item_count} but tree has {count}"
+            )
+
+    def _check_node(self, page: int, lo: Optional[bytes],
+                    hi: Optional[bytes]) -> Generator:
+        node = yield from self._read_node(page)
+        keys = node.keys
+        for a, b in zip(keys, keys[1:]):
+            if a >= b:
+                raise AssertionError(f"unsorted keys in page {page}")
+        for k in keys:
+            if lo is not None and k < lo:
+                raise AssertionError(f"key below bound in page {page}")
+            if hi is not None and k >= hi:
+                raise AssertionError(f"key above bound in page {page}")
+        if node.kind == _LEAF:
+            return len(keys)
+        total = 0
+        bounds = [lo] + keys + [hi]
+        for i, child in enumerate(node.children):
+            total += yield from self._check_node(child, bounds[i],
+                                                 bounds[i + 1])
+        return total
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not key:
+            raise KVError("empty key")
+        if len(key) > _MAX_KEY:
+            raise KVError(f"key too large ({len(key)} bytes)")
+
+    @staticmethod
+    def _insert_pos(keys: List[bytes], key: bytes) -> int:
+        import bisect
+        return bisect.bisect_left(keys, key)
+
+    @staticmethod
+    def _leaf_index(node: _Node, key: bytes) -> Optional[int]:
+        import bisect
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return idx
+        return None
+
+    @staticmethod
+    def _child_index(node: _Node, key: bytes) -> int:
+        import bisect
+        return bisect.bisect_right(node.keys, key)

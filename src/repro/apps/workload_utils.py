@@ -1,0 +1,61 @@
+"""Shared helpers for workload generators."""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..machine import Machine
+
+__all__ = ["materialize_file", "StartGate", "CHUNK"]
+
+CHUNK = 1024 * 1024
+
+
+class StartGate:
+    """Barrier separating setup (open, cold fmap) from measurement.
+
+    Workers call ``yield from gate.arrive(thread)`` once their files are
+    open; when all ``expected`` workers have arrived the gate opens,
+    the registered counters start, and everyone proceeds — so
+    measurement windows never include setup costs.
+    """
+
+    def __init__(self, machine: Machine, expected: int, counters=()):
+        self.machine = machine
+        self.expected = expected
+        self.counters = list(counters)
+        self._arrived = 0
+        self._go = machine.sim.event()
+
+    def arrive(self, thread) -> Generator:
+        self._arrived += 1
+        if self._arrived == self.expected:
+            for counter in self.counters:
+                counter.start(self.machine.now)
+            self._go.succeed()
+        if not self._go.triggered:
+            yield from thread.block(self._go)
+
+
+def materialize_file(machine: Machine, proc, engine, path: str,
+                     size: int) -> Generator:
+    """Create ``path`` with ``size`` bytes of mapped blocks.
+
+    Uses the kernel interface (fallocate) regardless of the engine so
+    the setup cost never pollutes measurements; SPDK files live in the
+    engine's own namespace instead.
+    """
+    thread = proc.new_thread(f"{proc.name}-setup")
+    if engine is not None and getattr(engine, "name", "") == "spdk":
+        f = engine.create_file(path, size)
+        # Mark the whole capacity as written so reads are in-bounds.
+        f._size = size
+        return
+    from ..kernel.process import O_CREAT, O_RDWR
+    kernel = machine.kernel
+    fd = yield from kernel.sys_open(proc, thread, path,
+                                    O_RDWR | O_CREAT)
+    yield from kernel.sys_fallocate(proc, thread, fd, 0, size)
+    yield from kernel.sys_fsync(proc, thread, fd)
+    yield from kernel.sys_close(proc, thread, fd)
+    thread.release_core()

@@ -1,0 +1,36 @@
+"""Baseline I/O engines the paper compares BypassD against."""
+
+from .base import EngineFile, IOEngine
+from .sync_io import KernelFile, SyncEngine
+from .libaio import AIOContext, AioOp, LibaioEngine, LibaioFile
+from .io_uring import IOUringEngine, IOUringFile, IOUringRing
+from .spdk import SPDKEngine, SPDKFile
+from .xrp import XRPEngine, XRPFile
+from .registry import (
+    ENGINE_NAMES,
+    BypassDEngine,
+    chained_read,
+    make_engine,
+)
+
+__all__ = [
+    "EngineFile",
+    "IOEngine",
+    "KernelFile",
+    "SyncEngine",
+    "AIOContext",
+    "AioOp",
+    "LibaioEngine",
+    "LibaioFile",
+    "IOUringEngine",
+    "IOUringFile",
+    "IOUringRing",
+    "SPDKEngine",
+    "SPDKFile",
+    "XRPEngine",
+    "XRPFile",
+    "ENGINE_NAMES",
+    "BypassDEngine",
+    "chained_read",
+    "make_engine",
+]

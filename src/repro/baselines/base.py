@@ -1,0 +1,48 @@
+"""Common engine-file interface shared by every I/O path.
+
+Workloads (fio, WiredTiger, BPF-KV, KVell) are engine-agnostic: they
+call ``open`` on an engine and drive the returned file with
+``pread``/``pwrite``/``append``/``fsync``/``close`` generators.  The
+BypassD :class:`~repro.core.userlib.BypassDFile` satisfies the same
+surface, so a single workload definition runs against every bar in the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Protocol, runtime_checkable
+
+from ..sim.cpu import Thread
+
+__all__ = ["EngineFile", "IOEngine"]
+
+
+@runtime_checkable
+class EngineFile(Protocol):
+    """An open file on some I/O path."""
+
+    @property
+    def size(self) -> int: ...
+
+    def pread(self, thread: Thread, offset: int,
+              nbytes: int) -> Generator: ...
+
+    def pwrite(self, thread: Thread, offset: int, nbytes: int,
+               data: Optional[bytes] = None) -> Generator: ...
+
+    def append(self, thread: Thread, nbytes: int,
+               data: Optional[bytes] = None) -> Generator: ...
+
+    def fsync(self, thread: Thread) -> Generator: ...
+
+    def close(self, thread: Thread) -> Generator: ...
+
+
+@runtime_checkable
+class IOEngine(Protocol):
+    """A way of reaching the SSD (kernel, async, userspace...)."""
+
+    name: str
+
+    def open(self, thread: Thread, path: str, write: bool = False,
+             create: bool = False) -> Generator: ...

@@ -1,0 +1,70 @@
+"""Command-line benchmark runner.
+
+    python -m repro.bench list
+    python -m repro.bench table1 fig6 fig9
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments
+
+_REGISTRY = {
+    "table1": experiments.table1_latency_breakdown,
+    "table2": experiments.table2_implementation_size,
+    "table4": experiments.table4_iommu_overheads,
+    "fig5": experiments.fig5_translations_per_request,
+    "fig6": experiments.fig6_fio_latency,
+    "fig6-write": lambda: experiments.fig6_fio_latency(rw="randwrite"),
+    "fig7": experiments.fig7_latency_breakdown,
+    "fig8": experiments.fig8_translation_sensitivity,
+    "fig9": experiments.fig9_thread_scaling,
+    "fig10": experiments.fig10_device_sharing,
+    "fig11": experiments.fig11_io_scheduling,
+    "fig12": experiments.fig12_revocation_timeline,
+    "table5": experiments.table5_fmap_overheads,
+    "memory": experiments.memory_overheads,
+    "fig13": experiments.fig13_wiredtiger_threads,
+    "fig14": experiments.fig14_wiredtiger_cache,
+    "fig15": experiments.fig15_bpfkv,
+    "fig16": experiments.fig16_kvell,
+    "table6": experiments.table6_capabilities,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate tables/figures from the BypassD paper.")
+    parser.add_argument("targets", nargs="+",
+                        help="experiment names, 'list', or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.targets == ["list"]:
+        for name in _REGISTRY:
+            print(name)
+        return 0
+
+    targets = (list(_REGISTRY) if args.targets == ["all"]
+               else args.targets)
+    unknown = [t for t in targets if t not in _REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(_REGISTRY)}", file=sys.stderr)
+        return 2
+
+    for name in targets:
+        t0 = time.time()
+        table = _REGISTRY[name]()
+        table.show()
+        print(f"[{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""BypassD core: file tables, fmap, revocation, UserLib."""
+
+from .filetable import PAGES_PER_LEAF, FileTable, build_file_table
+from .fmap import Attachment, FmapManager
+from .userlib import BypassDFile, FileState, UserLib
+
+__all__ = [
+    "PAGES_PER_LEAF",
+    "FileTable",
+    "build_file_table",
+    "Attachment",
+    "FmapManager",
+    "BypassDFile",
+    "FileState",
+    "UserLib",
+]

@@ -1,0 +1,155 @@
+"""File tables: the pre-populated, shared FTE subtrees (Section 4.1).
+
+A file table is a sequence of page-table *leaf* nodes whose entries are
+File Table Entries — LBA-in-place-of-PFN, FT bit set, DevID recorded
+(Figure 3).  The kernel builds them bottom-up from the file's extent
+tree, caches them in the VFS inode, and attaches them to a process's
+page table at PMD granularity with plain pointer updates, which makes
+the *warm* fmap nearly constant-time per 2 MB of file.
+
+Entries live at the exact leaf slot of their logical file page, so
+sparse files (holes punched by out-of-order writes) work: a hole is an
+absent entry, which the IOMMU turns into a translation fault and
+UserLib into a kernel-path retry.  Filling a hole or growing the tail
+updates the shared leaves in place — visible to every attached process
+at once; only brand-new leaves need (re-)attachment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..hw.pagetable import (
+    ENTRIES_PER_NODE,
+    LEVEL_PT,
+    PMD_SPAN,
+    PageTableNode,
+    fte_encode,
+    pte_present,
+)
+from ..hw.params import HardwareParams
+
+__all__ = ["FileTable", "build_file_table", "PAGES_PER_LEAF"]
+
+PAGES_PER_LEAF = ENTRIES_PER_NODE  # 512 pages -> one leaf spans 2 MiB
+PAGE = 4096
+
+Mapping = Tuple[int, int, int]  # (logical page, device page, count)
+
+
+@dataclass
+class FileTable:
+    """The cached file-table subtree for one inode."""
+
+    devid: int
+    leaves: List[PageTableNode] = field(default_factory=list)
+    pages: int = 0          # one past the highest mapped page
+    build_cost_ns: int = 0
+
+    @property
+    def span_bytes(self) -> int:
+        return len(self.leaves) * PMD_SPAN
+
+    def memory_bytes(self) -> int:
+        """FTE memory overhead: one 4 KB page per leaf (Section 6.3)."""
+        return sum(1 for leaf in self.leaves
+                   if leaf is not None) * PAGE
+
+    # -- construction / growth -----------------------------------------------
+
+    def set_range(self, logical: int, device_page: int, count: int,
+                  params: HardwareParams) -> Tuple[List[int], int]:
+        """Install FTEs for ``count`` pages starting at ``logical``.
+
+        Returns (indices of leaves newly created, cost_ns).  Existing
+        leaves are updated in place (shared-table visibility).
+        """
+        if count <= 0:
+            raise ValueError("empty range")
+        new_leaves: List[int] = []
+        last_leaf = (logical + count - 1) // PAGES_PER_LEAF
+        while len(self.leaves) <= last_leaf:
+            self.leaves.append(None)
+        for i in range(count):
+            page = logical + i
+            leaf_idx, slot = divmod(page, PAGES_PER_LEAF)
+            if self.leaves[leaf_idx] is None:
+                self.leaves[leaf_idx] = PageTableNode(LEVEL_PT)
+                new_leaves.append(leaf_idx)
+            # Shared entries carry maximum rights; the per-process R/W
+            # bit lives at the private attach point (Figure 4).
+            self.leaves[leaf_idx].entries[slot] = fte_encode(
+                device_page + i, self.devid, writable=True)
+        self.pages = max(self.pages, logical + count)
+        cost = count * params.fte_write_ns
+        self.build_cost_ns += cost
+        return new_leaves, cost
+
+    def populate(self, mappings: List[Mapping],
+                 params: HardwareParams) -> int:
+        """Cold build from the extent tree's (logical, phys, count)."""
+        for logical, device_page, count in mappings:
+            self.set_range(logical, device_page, count, params)
+        return self.pages
+
+    # -- shrink ------------------------------------------------------------
+
+    def truncate_pages(self, keep_pages: int) -> List[int]:
+        """Clear entries at/after ``keep_pages``.
+
+        Returns indices of leaves dropped entirely (callers detach
+        those from every attached address space).
+        """
+        if keep_pages < 0:
+            raise ValueError("negative page count")
+        if keep_pages >= self.pages:
+            return []
+        first_dead_leaf = -(-keep_pages // PAGES_PER_LEAF)
+        for page in range(keep_pages,
+                          min(self.pages,
+                              first_dead_leaf * PAGES_PER_LEAF)):
+            leaf_idx, slot = divmod(page, PAGES_PER_LEAF)
+            if self.leaves[leaf_idx] is not None:
+                self.leaves[leaf_idx].entries[slot] = 0
+        dead = [idx for idx in range(first_dead_leaf, len(self.leaves))
+                if self.leaves[idx] is not None]
+        del self.leaves[first_dead_leaf:]
+        self.pages = keep_pages
+        return dead
+
+    # -- introspection -----------------------------------------------------
+
+    def entry_count(self) -> int:
+        return sum(leaf.present_count() for leaf in self.leaves
+                   if leaf is not None)
+
+    def has_entry(self, page: int) -> bool:
+        leaf_idx, slot = divmod(page, PAGES_PER_LEAF)
+        if leaf_idx >= len(self.leaves) or self.leaves[leaf_idx] is None:
+            return False
+        return pte_present(self.leaves[leaf_idx].entries[slot])
+
+    def check_dense(self) -> None:
+        """For hole-free files: entries dense in [0, pages)."""
+        seen = 0
+        for leaf in self.leaves:
+            for slot in range(ENTRIES_PER_NODE):
+                present = (leaf is not None
+                           and pte_present(leaf.entries[slot]))
+                expected = seen < self.pages
+                if present != expected:
+                    raise AssertionError(
+                        f"file table density broken at page {seen}"
+                    )
+                seen += 1
+        if seen < self.pages:
+            raise AssertionError("file table shorter than page count")
+
+
+def build_file_table(mappings: List[Mapping], devid: int,
+                     params: HardwareParams) -> FileTable:
+    """Cold build: create and populate a file table from mappings."""
+    table = FileTable(devid=devid)
+    table.populate(mappings, params)
+    return table

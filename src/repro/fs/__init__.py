@@ -1,0 +1,5 @@
+"""Filesystem substrates."""
+
+from . import ext4
+
+__all__ = ["ext4"]

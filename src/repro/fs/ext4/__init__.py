@@ -1,0 +1,41 @@
+"""ext4-like filesystem: extents, journaling, allocation, namespace."""
+
+from .superblock import FS_BLOCK_SIZE, Superblock
+from .allocator import BlockAllocator, NoSpaceError
+from .extents import Extent, ExtentStatusCache, ExtentTree
+from .inode import FileType, Inode, InodeAttrs
+from .directory import (
+    DirectoryError,
+    DirectoryTree,
+    FileExists,
+    FileNotFound,
+    NotADirectory,
+    split_path,
+)
+from .journal import Journal, JournalRecord, Transaction
+from .filesystem import Ext4Filesystem, FsError, NullVolume
+
+__all__ = [
+    "FS_BLOCK_SIZE",
+    "Superblock",
+    "BlockAllocator",
+    "NoSpaceError",
+    "Extent",
+    "ExtentStatusCache",
+    "ExtentTree",
+    "FileType",
+    "Inode",
+    "InodeAttrs",
+    "DirectoryError",
+    "DirectoryTree",
+    "FileExists",
+    "FileNotFound",
+    "NotADirectory",
+    "split_path",
+    "Journal",
+    "JournalRecord",
+    "Transaction",
+    "Ext4Filesystem",
+    "FsError",
+    "NullVolume",
+]

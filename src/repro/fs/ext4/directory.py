@@ -1,0 +1,123 @@
+"""Directory tree: path resolution and namespace edits.
+
+Directory payloads are name -> inode-number maps held on the directory
+inode.  Path handling is deliberately POSIX-flavoured (absolute paths,
+``/`` separators, no ``.``/``..`` support needed by the workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .inode import FileType, Inode
+
+__all__ = [
+    "DirectoryError",
+    "NotADirectory",
+    "FileExists",
+    "FileNotFound",
+    "split_path",
+    "DirectoryTree",
+]
+
+
+class DirectoryError(Exception):
+    pass
+
+
+class NotADirectory(DirectoryError):
+    pass
+
+
+class FileExists(DirectoryError):
+    pass
+
+
+class FileNotFound(DirectoryError):
+    pass
+
+
+def split_path(path: str) -> List[str]:
+    if not path.startswith("/"):
+        raise DirectoryError(f"path must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise DirectoryError(f"'.'/'..' not supported: {path!r}")
+    return parts
+
+
+class DirectoryTree:
+    """Namespace operations over an inode table."""
+
+    def __init__(self, root: Inode, inodes: Dict[int, Inode]):
+        if not root.is_dir:
+            raise NotADirectory("root inode is not a directory")
+        self.root = root
+        self._inodes = inodes
+
+    def resolve(self, path: str) -> Inode:
+        node = self.root
+        for part in split_path(path):
+            if not node.is_dir:
+                raise NotADirectory(f"{part!r} reached through non-directory")
+            assert node.children is not None
+            ino = node.children.get(part)
+            if ino is None:
+                raise FileNotFound(path)
+            node = self._inodes[ino]
+        return node
+
+    def resolve_parent(self, path: str) -> Tuple[Inode, str]:
+        parts = split_path(path)
+        if not parts:
+            raise DirectoryError("cannot operate on /")
+        parent_path = "/" + "/".join(parts[:-1])
+        return self.resolve(parent_path), parts[-1]
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.resolve(path)
+            return True
+        except DirectoryError:
+            return False
+
+    def link(self, parent: Inode, name: str, inode: Inode) -> None:
+        if not parent.is_dir:
+            raise NotADirectory(f"parent of {name!r}")
+        assert parent.children is not None
+        if name in parent.children:
+            raise FileExists(name)
+        parent.children[name] = inode.ino
+        inode.attrs.nlink += 0 if inode.is_dir else 0  # first link counted at create
+
+    def unlink(self, parent: Inode, name: str) -> Inode:
+        assert parent.children is not None
+        ino = parent.children.get(name)
+        if ino is None:
+            raise FileNotFound(name)
+        inode = self._inodes[ino]
+        if inode.is_dir and inode.children:
+            raise DirectoryError(f"directory not empty: {name!r}")
+        del parent.children[name]
+        inode.attrs.nlink -= 1
+        return inode
+
+    def listdir(self, path: str) -> List[str]:
+        node = self.resolve(path)
+        if not node.is_dir:
+            raise NotADirectory(path)
+        assert node.children is not None
+        return sorted(node.children)
+
+    def walk(self) -> Iterable[Tuple[str, Inode]]:
+        """Yield (path, inode) for every entry (fsck traversal)."""
+        stack: List[Tuple[str, Inode]] = [("/", self.root)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            if node.is_dir:
+                assert node.children is not None
+                for name, ino in node.children.items():
+                    child_path = path.rstrip("/") + "/" + name
+                    stack.append((child_path, self._inodes[ino]))

@@ -1,0 +1,172 @@
+"""Extent trees and the extent-status cache.
+
+An extent maps a run of logical file blocks to physical filesystem
+blocks.  The extent tree here is a sorted list with binary search —
+the balanced on-disk B+-tree's *behaviour* (ordered, mergeable,
+range-searchable) without its serialisation details.
+
+ext4 caches extent mappings in memory in the *extent status tree*;
+whether a file's extents are cached decides between the paper's cheap
+"warm" fmap and the expensive "cold" fmap that must read block-mapping
+metadata from the device (Section 4.1, Table 5).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["Extent", "ExtentTree", "ExtentStatusCache"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    logical: int   # first file block
+    physical: int  # first fs/device block
+    count: int     # blocks
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("extent must cover at least one block")
+        if self.logical < 0 or self.physical < 0:
+            raise ValueError("negative block number")
+
+    @property
+    def logical_end(self) -> int:
+        return self.logical + self.count
+
+    def contains(self, file_block: int) -> bool:
+        return self.logical <= file_block < self.logical_end
+
+
+class ExtentTree:
+    """Sorted extent map for one inode."""
+
+    def __init__(self):
+        self._extents: List[Extent] = []
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._extents)
+
+    @property
+    def block_count(self) -> int:
+        return sum(e.count for e in self._extents)
+
+    @property
+    def last_logical(self) -> int:
+        """One past the highest mapped file block (0 if empty)."""
+        if not self._extents:
+            return 0
+        return self._extents[-1].logical_end
+
+    def lookup(self, file_block: int) -> Optional[Tuple[int, int]]:
+        """(physical block, run length from here) or None for a hole."""
+        idx = self._find(file_block)
+        if idx is None:
+            return None
+        ext = self._extents[idx]
+        offset = file_block - ext.logical
+        return ext.physical + offset, ext.count - offset
+
+    def _find(self, file_block: int) -> Optional[int]:
+        keys = [e.logical for e in self._extents]
+        idx = bisect.bisect_right(keys, file_block) - 1
+        if idx < 0:
+            return None
+        if self._extents[idx].contains(file_block):
+            return idx
+        return None
+
+    def insert(self, extent: Extent) -> None:
+        """Insert a mapping; overlapping an existing one is a bug."""
+        keys = [e.logical for e in self._extents]
+        idx = bisect.bisect_left(keys, extent.logical)
+        for neighbor in (idx - 1, idx):
+            if 0 <= neighbor < len(self._extents):
+                other = self._extents[neighbor]
+                if (extent.logical < other.logical_end
+                        and other.logical < extent.logical_end):
+                    raise ValueError(
+                        f"extent overlap: {extent} vs {other}"
+                    )
+        self._extents.insert(idx, extent)
+        self._merge_around(max(idx - 1, 0))
+
+    def _merge_around(self, idx: int) -> None:
+        while idx + 1 < len(self._extents):
+            a, b = self._extents[idx], self._extents[idx + 1]
+            if (a.logical_end == b.logical
+                    and a.physical + a.count == b.physical):
+                self._extents[idx:idx + 2] = [
+                    Extent(a.logical, a.physical, a.count + b.count)
+                ]
+            else:
+                idx += 1
+
+    def truncate(self, new_block_count: int) -> List[Tuple[int, int]]:
+        """Drop mappings at/after ``new_block_count``.
+
+        Returns the freed (physical, count) runs for the allocator.
+        """
+        if new_block_count < 0:
+            raise ValueError("negative truncate target")
+        freed: List[Tuple[int, int]] = []
+        kept: List[Extent] = []
+        for ext in self._extents:
+            if ext.logical_end <= new_block_count:
+                kept.append(ext)
+            elif ext.logical >= new_block_count:
+                freed.append((ext.physical, ext.count))
+            else:
+                keep = new_block_count - ext.logical
+                kept.append(Extent(ext.logical, ext.physical, keep))
+                freed.append((ext.physical + keep, ext.count - keep))
+        self._extents = kept
+        return freed
+
+    def physical_runs(self) -> List[Tuple[int, int]]:
+        return [(e.physical, e.count) for e in self._extents]
+
+    def mappings(self) -> List[Tuple[int, int, int]]:
+        """(logical, physical, count) triples, logical order."""
+        return [(e.logical, e.physical, e.count) for e in self._extents]
+
+    def check_invariants(self) -> None:
+        prev_end = -1
+        for ext in self._extents:
+            if ext.logical < prev_end:
+                raise AssertionError(f"extent out of order: {ext}")
+            prev_end = ext.logical_end
+
+
+class ExtentStatusCache:
+    """Tracks which inodes' extent maps are resident in memory.
+
+    A miss means the filesystem must read mapping metadata from the
+    device before it can hand out LBAs — the cold-fmap penalty.
+    """
+
+    def __init__(self):
+        self._resident: set = set()
+        self.hits = 0
+        self.misses = 0
+
+    def is_cached(self, ino: int) -> bool:
+        if ino in self._resident:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def mark_cached(self, ino: int) -> None:
+        self._resident.add(ino)
+
+    def evict(self, ino: int) -> None:
+        self._resident.discard(ino)
+
+    def clear(self) -> None:
+        self._resident.clear()

@@ -1,0 +1,111 @@
+"""jbd2-style metadata journal (ordered mode, no data journaling).
+
+The paper's implementation uses ext4 *without data journaling*
+(Section 4): metadata changes are crash-consistent, data is not.  The
+journal here logs *logical* records — (operation, arguments) tuples —
+into a running transaction; ``commit`` makes the transaction durable.
+
+Crash semantics for the tests: a simulated crash discards everything
+except committed transactions; :meth:`Journal.durable_records` yields
+the records a recovery replays, in order.  Data blocks written before
+the crash stay written (ordered mode writes data before commit), but
+uncommitted metadata (e.g. a size update) is lost — exactly ext4's
+guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["JournalRecord", "Transaction", "Journal"]
+
+JournalRecord = Tuple[str, Dict[str, Any]]
+
+
+@dataclass
+class Transaction:
+    txid: int
+    records: List[JournalRecord] = field(default_factory=list)
+    committed: bool = False
+
+    def log(self, op: str, **args: Any) -> None:
+        if self.committed:
+            raise RuntimeError(f"transaction {self.txid} already committed")
+        self.records.append((op, dict(args)))
+
+    @property
+    def block_estimate(self) -> int:
+        """Journal blocks this transaction will occupy (4 records/block)."""
+        return max(1, (len(self.records) + 3) // 4)
+
+
+class Journal:
+    """Running + committed transactions for one filesystem."""
+
+    def __init__(self, capacity_blocks: int = 2048):
+        self.capacity_blocks = capacity_blocks
+        self._txid = itertools.count(1)
+        self._running: Optional[Transaction] = None
+        self._committed: List[Transaction] = []
+        self.commits = 0
+        self.records_logged = 0
+        self.blocks_written = 0
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    def running(self) -> Transaction:
+        """The current transaction, opening one if needed."""
+        if self._running is None:
+            self._running = Transaction(next(self._txid))
+        return self._running
+
+    def log(self, op: str, **args: Any) -> None:
+        self.running().log(op, **args)
+        self.records_logged += 1
+
+    @property
+    def has_pending(self) -> bool:
+        return self._running is not None and bool(self._running.records)
+
+    def commit(self) -> Optional[Transaction]:
+        """Seal the running transaction; returns it (None if empty)."""
+        txn = self._running
+        self._running = None
+        if txn is None or not txn.records:
+            return None
+        txn.committed = True
+        self._committed.append(txn)
+        self.commits += 1
+        self.blocks_written += txn.block_estimate
+        self._maybe_checkpoint()
+        return txn
+
+    def _maybe_checkpoint(self) -> None:
+        # When the journal area would overflow, old transactions are
+        # checkpointed (their effects are assumed written in place) and
+        # dropped from the replay window.  We keep them all for test
+        # introspection but cap the *replayable* window.
+        pass
+
+    # -- crash/recovery ----------------------------------------------------
+
+    def durable_records(self) -> List[JournalRecord]:
+        """All records a post-crash recovery must replay, in order."""
+        out: List[JournalRecord] = []
+        for txn in self._committed:
+            out.extend(txn.records)
+        return out
+
+    def drop_running(self) -> int:
+        """Crash: the uncommitted transaction evaporates."""
+        lost = 0
+        if self._running is not None:
+            lost = len(self._running.records)
+            self._running = None
+        return lost
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._committed)

@@ -1,0 +1,34 @@
+"""Kernel substrate: processes, VFS/syscalls, block layer, page cache."""
+
+from .process import (
+    O_APPEND,
+    O_CREAT,
+    O_DIRECT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    AddressSpace,
+    FileDescription,
+    Process,
+)
+from .blockio import BlockIOLayer, IOError_, KernelVolume
+from .pagecache import PageCache
+from .syscalls import Kernel, PermissionError_
+
+__all__ = [
+    "O_APPEND",
+    "O_CREAT",
+    "O_DIRECT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_WRONLY",
+    "AddressSpace",
+    "FileDescription",
+    "Process",
+    "BlockIOLayer",
+    "IOError_",
+    "KernelVolume",
+    "PageCache",
+    "Kernel",
+    "PermissionError_",
+]

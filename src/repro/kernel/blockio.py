@@ -1,0 +1,180 @@
+"""Kernel block layer and NVMe driver.
+
+This is the in-kernel data path of Table 1: the block layer costs
+540 ns, the driver 220 ns, and completions arrive by interrupt (the
+submitting thread sleeps off-core).  The same machinery backs the
+filesystem's metadata volume.
+
+The kernel is trusted, so its commands carry physical addresses
+(``buffer_iova=0`` skips the device's per-process buffer validation)
+and kernel queues use PASID 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..hw.params import HardwareParams
+from ..nvme.device import NVMeDevice
+from ..nvme.queues import QueuePair
+from ..nvme.spec import Command, Completion, Opcode
+from ..sim.cpu import Thread
+from ..sim.engine import Simulator
+
+__all__ = ["BlockIOLayer", "KernelVolume", "IOError_"]
+
+FS_BLOCK = 4096
+_BLOCKS_PER_PAGE = FS_BLOCK // 512
+
+
+class IOError_(Exception):
+    """Device returned an error status to a kernel-issued command."""
+
+    def __init__(self, completion: Completion):
+        super().__init__(f"I/O failed: {completion.status} "
+                         f"{completion.fault_reason}")
+        self.completion = completion
+
+
+class BlockIOLayer:
+    """Kernel submission path with per-thread hardware queues."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams,
+                 device: NVMeDevice):
+        self.sim = sim
+        self.params = params
+        self.device = device
+        self._queues: Dict[int, QueuePair] = {}
+        self.requests = 0
+        from ..sim.trace import NULL_TRACER
+        self.tracer = NULL_TRACER
+
+    def _queue_for(self, thread: Optional[Thread]) -> QueuePair:
+        key = id(thread) if thread is not None else 0
+        qp = self._queues.get(key)
+        if qp is None:
+            qp = self.device.create_queue_pair(pasid=0, depth=1024)
+            self._queues[key] = qp
+        return qp
+
+    # -- thread-accounted path (syscalls) -------------------------------------
+
+    def rw_fsblocks(self, thread: Thread, opcode: Opcode, fs_block: int,
+                    count: int, data: Optional[bytes] = None,
+                    charge_layers: bool = True) -> Generator:
+        """Read/write ``count`` filesystem blocks; returns read payload.
+
+        Charges the block-layer and driver CPU costs, then sleeps until
+        the interrupt-driven completion.
+        """
+        if charge_layers:
+            yield from thread.compute(self.params.block_layer_ns)
+            yield from thread.compute(self.params.nvme_driver_ns)
+        qp = self._queue_for(thread)
+        cmd = Command(opcode, addr=fs_block * _BLOCKS_PER_PAGE,
+                      nbytes=count * FS_BLOCK, data=data)
+        self.requests += 1
+        ev = self.device.submit(qp, cmd)
+        token = self.tracer.begin("device", "kernel-io")
+        completion = yield from thread.block(ev)
+        self.tracer.end(token)
+        if self.params.irq_completion_ns:
+            yield from thread.compute(self.params.irq_completion_ns)
+        if not completion.ok:
+            raise IOError_(completion)
+        return completion.data
+
+    def rw_bytes(self, thread: Thread, opcode: Opcode, lba512: int,
+                 nbytes: int, data: Optional[bytes] = None,
+                 charge_layers: bool = True) -> Generator:
+        """512 B-granular transfer (sub-block I/O, XRP hops)."""
+        if charge_layers:
+            yield from thread.compute(self.params.block_layer_ns)
+            yield from thread.compute(self.params.nvme_driver_ns)
+        qp = self._queue_for(thread)
+        cmd = Command(opcode, addr=lba512, nbytes=nbytes, data=data)
+        self.requests += 1
+        ev = self.device.submit(qp, cmd)
+        token = self.tracer.begin("device", "kernel-io")
+        completion = yield from thread.block(ev)
+        self.tracer.end(token)
+        if not completion.ok:
+            raise IOError_(completion)
+        return completion.data
+
+    def submit_async(self, thread: Thread, opcode: Opcode, lba512: int,
+                     nbytes: int, data: Optional[bytes] = None,
+                     charge_layers: bool = True) -> Generator:
+        """Charge the submission-side CPU and return the completion
+        event without waiting (libaio / io_uring style)."""
+        if charge_layers:
+            yield from thread.compute(self.params.block_layer_ns)
+            yield from thread.compute(self.params.nvme_driver_ns)
+        qp = self._queue_for(thread)
+        cmd = Command(opcode, addr=lba512, nbytes=nbytes, data=data)
+        self.requests += 1
+        return self.device.submit(qp, cmd)
+
+    def flush(self, thread: Thread) -> Generator:
+        qp = self._queue_for(thread)
+        ev = self.device.submit(qp, Command(Opcode.FLUSH, addr=0, nbytes=0))
+        completion = yield from thread.block(ev)
+        if not completion.ok:
+            raise IOError_(completion)
+
+
+class KernelVolume:
+    """Volume interface the filesystem uses for metadata I/O.
+
+    Metadata I/O runs inside a syscall on the calling thread's time;
+    the filesystem code does not carry a thread reference, so volume
+    operations wait on the raw completion event (the enclosing syscall
+    has already charged the CPU layers).
+    """
+
+    block_size = FS_BLOCK
+
+    def __init__(self, sim: Simulator, params: HardwareParams,
+                 device: NVMeDevice):
+        self.sim = sim
+        self.params = params
+        self.device = device
+        self._qp: Optional[QueuePair] = None
+        self.meta_reads = 0
+        self.meta_writes = 0
+
+    def _queue(self) -> QueuePair:
+        if self._qp is None:
+            self._qp = self.device.create_queue_pair(pasid=0, depth=1024)
+        return self._qp
+
+    def read_blocks(self, block: int, count: int) -> Generator:
+        self.meta_reads += 1
+        cmd = Command(Opcode.READ, addr=block * _BLOCKS_PER_PAGE,
+                      nbytes=count * FS_BLOCK)
+        completion = yield self.device.submit(self._queue(), cmd)
+        if not completion.ok:
+            raise IOError_(completion)
+        return completion.data
+
+    def write_blocks(self, block: int, count: int,
+                     data: Optional[bytes] = None) -> Generator:
+        self.meta_writes += 1
+        cmd = Command(Opcode.WRITE, addr=block * _BLOCKS_PER_PAGE,
+                      nbytes=count * FS_BLOCK, data=data)
+        completion = yield self.device.submit(self._queue(), cmd)
+        if not completion.ok:
+            raise IOError_(completion)
+
+    def zero_blocks(self, block: int, count: int) -> Generator:
+        """Zero newly allocated blocks (Section 4.1 security rule)."""
+        self.device.backend.zero_blocks(block * _BLOCKS_PER_PAGE,
+                                        count * _BLOCKS_PER_PAGE)
+        kb = count * FS_BLOCK // 1024
+        yield self.sim.timeout(self.params.block_zero_ns_per_kb * kb)
+
+    def flush(self) -> Generator:
+        cmd = Command(Opcode.FLUSH, addr=0, nbytes=0)
+        completion = yield self.device.submit(self._queue(), cmd)
+        if not completion.ok:
+            raise IOError_(completion)

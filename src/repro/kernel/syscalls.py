@@ -1,0 +1,492 @@
+"""Syscall layer: the kernel interface of the paper (Figure 1a).
+
+Costs follow Table 1: 160 ns to enter the kernel, 2810 ns of VFS+ext4,
+540 ns block layer, 220 ns NVMe driver, 100 ns to return — plus the
+device.  Metadata operations (open, append, fallocate, ftruncate,
+fsync, close) always run here, both for the kernel interface and for
+the BypassD interface (Table 3); only the data path differs.
+
+All syscalls are generators executed on a caller thread inside a
+simulation process:
+
+    n, data = yield from kernel.sys_pread(proc, thread, fd, off, nbytes)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..fs.ext4.filesystem import Ext4Filesystem, FsError
+from ..fs.ext4.inode import Inode
+from ..hw.params import HardwareParams
+from ..nvme.spec import Opcode
+from ..sim.cpu import Thread
+from ..sim.engine import Simulator
+from .blockio import BlockIOLayer
+from .pagecache import PageCache
+from .process import (
+    O_APPEND,
+    O_CREAT,
+    O_DIRECT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    FileDescription,
+    Process,
+)
+
+__all__ = ["Kernel", "PermissionError_"]
+
+PAGE = 4096
+SECTOR = 512
+
+
+class PermissionError_(Exception):
+    pass
+
+
+def _pad_to(data: Optional[bytes], size: int) -> Optional[bytes]:
+    if data is None:
+        return None
+    if len(data) > size:
+        raise ValueError("payload larger than padded size")
+    return data + bytes(size - len(data))
+
+
+class Kernel:
+    """Syscall entry points plus kernel-side BypassD hooks."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams,
+                 fs: Ext4Filesystem, blockio: BlockIOLayer,
+                 pagecache: PageCache):
+        self.sim = sim
+        self.params = params
+        self.fs = fs
+        self.blockio = blockio
+        self.pagecache = pagecache
+        # Set by the machine once the BypassD manager exists; the kernel
+        # works fine without it (pure kernel-interface machine).
+        self.bypassd = None
+        self.syscall_count = 0
+        from ..sim.trace import NULL_TRACER
+        self.tracer = NULL_TRACER
+        # ext4 serialises concurrent writes to one inode (i_rwsem); the
+        # paper calls this bottleneck out for KVell on YCSB A, which
+        # BypassD sidesteps by writing from userspace (Section 6.5).
+        self._inode_write_locks: dict = {}
+
+    def _write_lock(self, inode: Inode):
+        lock = self._inode_write_locks.get(inode.ino)
+        if lock is None:
+            from ..sim.resources import Lock
+            lock = Lock(self.sim)
+            self._inode_write_locks[inode.ino] = lock
+        return lock
+
+    # -- mode switches ------------------------------------------------------
+
+    def _enter(self, thread: Thread) -> Generator:
+        self.syscall_count += 1
+        yield from thread.compute(self.params.user_to_kernel_ns)
+
+    def _exit(self, thread: Thread) -> Generator:
+        yield from thread.compute(self.params.kernel_to_user_ns)
+
+    # -- open/close ---------------------------------------------------------
+
+    def sys_open(self, proc: Process, thread: Thread, path: str,
+                 flags: int = O_RDONLY, mode: int = 0o644,
+                 bypass_intent: bool = False) -> Generator:
+        """Open (optionally creating) a file; returns the fd number.
+
+        ``bypass_intent`` marks opens made by UserLib that will be
+        followed by fmap(); those do not count as kernel-interface
+        openers for the sharing rules of Section 4.5.2.
+        """
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.open_base_ns)
+        path = proc.resolve_path(path)
+        if (flags & O_CREAT) and not self.fs.exists(path):
+            inode = self.fs.create(path, mode, proc.uid,
+                                   min(proc.gids))
+        else:
+            inode = self.fs.lookup(path)
+        self._check_access(proc, inode, flags)
+        fdesc = proc.install_fd(path, inode, flags)
+        if not bypass_intent:
+            inode.kernel_openers += 1
+            if inode.fmap_attachments and self.bypassd is not None:
+                # A kernel-interface open on an fmap()ed file forces the
+                # mappers back to the kernel path (Section 4.5.2).
+                self.bypassd.revoke(inode)
+        yield from self._exit(thread)
+        return fdesc.fd
+
+    def _check_access(self, proc: Process, inode: Inode,
+                      flags: int) -> None:
+        acc = flags & 0o3
+        if acc in (O_RDONLY, O_RDWR) and not inode.may_read(proc.uid,
+                                                            proc.gids):
+            raise PermissionError_(f"uid {proc.uid} cannot read "
+                                   f"inode {inode.ino}")
+        if acc in (O_WRONLY, O_RDWR) and not inode.may_write(proc.uid,
+                                                             proc.gids):
+            raise PermissionError_(f"uid {proc.uid} cannot write "
+                                   f"inode {inode.ino}")
+
+    def sys_close(self, proc: Process, thread: Thread,
+                  fd: int) -> Generator:
+        yield from self._enter(thread)
+        fdesc = proc.drop_fd(fd)
+        inode = fdesc.inode
+        if fdesc.vba and self.bypassd is not None:
+            self.bypassd.on_close(proc, fdesc)
+        elif inode.kernel_openers > 0:
+            inode.kernel_openers -= 1
+        if fdesc.accessed or fdesc.modified:
+            self.fs.update_timestamps(inode, fdesc.accessed,
+                                      fdesc.modified)
+        yield from self._exit(thread)
+
+    # -- data path (kernel interface) -------------------------------------
+
+    def sys_pread(self, proc: Process, thread: Thread, fd: int,
+                  offset: int, nbytes: int) -> Generator:
+        """Returns (bytes_read, payload-or-None)."""
+        fdesc = proc.get_fd(fd)
+        if not fdesc.readable:
+            raise PermissionError_("fd not open for reading")
+        token = self.tracer.begin("syscall", "pread")
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.vfs_ext4_ns)
+        inode = fdesc.inode
+        n = max(0, min(nbytes, inode.size - offset))
+        data: Optional[bytes] = b"" if n == 0 else None
+        if n > 0:
+            if fdesc.direct:
+                data = yield from self._direct_read(thread, inode,
+                                                    offset, n)
+            else:
+                data = yield from self._buffered_read(thread, inode,
+                                                      offset, n)
+        fdesc.accessed = True
+        yield from self._exit(thread)
+        self.tracer.end(token)
+        return n, data
+
+    def _direct_read(self, thread: Thread, inode: Inode, offset: int,
+                     n: int) -> Generator:
+        if offset % SECTOR or n % SECTOR:
+            # Device I/O is sector-granular: over-read the covering
+            # sectors and slice (what a shim over O_DIRECT does).
+            first = (offset // SECTOR) * SECTOR
+            span = -(-(offset - first + n) // SECTOR) * SECTOR
+            data = yield from self._direct_read(thread, inode, first,
+                                                span)
+            if data is None:
+                return None
+            skip = offset - first
+            return data[skip:skip + n]
+        yield from self._charge_per_page(thread, n)
+        chunks = []
+        pos = offset
+        remaining = n
+        while remaining > 0:
+            page_idx = pos // PAGE
+            mapping = self.fs.bmap(inode, page_idx)
+            in_page = min(remaining, PAGE - pos % PAGE)
+            if mapping is None:
+                chunks.append(bytes(in_page))  # hole
+            else:
+                lba512 = mapping[0] * (PAGE // SECTOR) \
+                    + (pos % PAGE) // SECTOR
+                run_bytes = min(remaining,
+                                mapping[1] * PAGE - pos % PAGE)
+                data = yield from self.blockio.rw_bytes(
+                    thread, Opcode.READ, lba512, run_bytes)
+                if data is not None:
+                    chunks.append(data)
+                pos += run_bytes
+                remaining -= run_bytes
+                continue
+            pos += in_page
+            remaining -= in_page
+        return b"".join(chunks) if chunks else None
+
+    def _buffered_read(self, thread: Thread, inode: Inode, offset: int,
+                       n: int) -> Generator:
+        chunks = []
+        pos = offset
+        remaining = n
+        while remaining > 0:
+            page_idx = pos // PAGE
+            in_page = min(remaining, PAGE - pos % PAGE)
+            yield from thread.compute(self.params.page_cache_hit_ns)
+            page = yield from self.pagecache.read_page(thread, inode,
+                                                       page_idx)
+            yield from thread.compute(self.params.memcpy_ns(in_page))
+            if page is not None:
+                start = pos % PAGE
+                chunks.append(page[start:start + in_page])
+            pos += in_page
+            remaining -= in_page
+        return b"".join(chunks) if chunks else None
+
+    def sys_pwrite(self, proc: Process, thread: Thread, fd: int,
+                   offset: int, nbytes: int,
+                   data: Optional[bytes] = None) -> Generator:
+        """Returns bytes written.  Grows the file when needed."""
+        fdesc = proc.get_fd(fd)
+        if not fdesc.writable:
+            raise PermissionError_("fd not open for writing")
+        if data is not None and len(data) != nbytes:
+            raise ValueError("payload length mismatch")
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.vfs_ext4_ns)
+        inode = fdesc.inode
+        lock = self._write_lock(inode)
+        yield from thread.block(lock.acquire())
+        try:
+            if fdesc.append_mode:
+                offset = inode.size
+            yield from self._extend_for_write(thread, inode, offset,
+                                              nbytes)
+            if fdesc.direct:
+                yield from self._direct_write(thread, inode, offset,
+                                              nbytes, data)
+            else:
+                yield from self._buffered_write(thread, inode, offset,
+                                                nbytes, data)
+            if offset + nbytes > inode.size:
+                self.fs.set_size(inode, offset + nbytes)
+        finally:
+            lock.release()
+        fdesc.modified = True
+        yield from self._exit(thread)
+        return nbytes
+
+    def _extend_for_write(self, thread: Thread, inode: Inode,
+                          offset: int, nbytes: int) -> Generator:
+        """Allocate any unmapped blocks the write touches."""
+        first = offset // PAGE
+        last = (offset + nbytes - 1) // PAGE
+        block = first
+        while block <= last:
+            mapping = self.fs.bmap(inode, block)
+            if mapping is not None:
+                block += mapping[1]
+                continue
+            run_end = block
+            while run_end <= last and self.fs.bmap(inode, run_end) is None:
+                run_end += 1
+            # Skip the zeroing I/O only when the write covers the whole
+            # run: a partially-covered fresh block must be zeroed or an
+            # RMW could resurrect another file's stale bytes
+            # (Section 4.1's security rule).
+            covered = (offset <= block * PAGE
+                       and offset + nbytes >= run_end * PAGE)
+            yield from self.fs.allocate_blocks(inode, block,
+                                               run_end - block,
+                                               zero=not covered)
+            block = run_end
+
+
+    def _charge_per_page(self, thread: Thread, nbytes: int) -> Generator:
+        """Per-page pinning/bio costs for multi-page direct I/O."""
+        extra_pages = max(0, -(-nbytes // PAGE) - 1)
+        if extra_pages:
+            yield from thread.compute(
+                extra_pages * self.params.kernel_per_page_ns)
+
+    def _direct_write(self, thread: Thread, inode: Inode, offset: int,
+                      nbytes: int, data: Optional[bytes]) -> Generator:
+        if offset % SECTOR or nbytes % SECTOR:
+            # Sub-sector write: read-modify-write the covering sectors
+            # so neighbouring bytes survive.
+            first = (offset // SECTOR) * SECTOR
+            span = -(-(offset - first + nbytes) // SECTOR) * SECTOR
+            old = None
+            mapped_end = inode.extents.last_logical * PAGE
+            readable = min(span, max(0, mapped_end - first))
+            readable = (readable // SECTOR) * SECTOR
+            if readable > 0:
+                old = yield from self._direct_read(thread, inode, first,
+                                                   readable)
+            merged = None
+            if data is not None:
+                base = bytearray(span)
+                if old is not None:
+                    base[:len(old)] = old
+                skip = offset - first
+                base[skip:skip + nbytes] = data
+                merged = bytes(base)
+            yield from self._direct_write(thread, inode, first, span,
+                                          merged)
+            return
+        yield from self._charge_per_page(thread, nbytes)
+        padded = -(-nbytes // SECTOR) * SECTOR
+        payload = _pad_to(data, padded)
+        pos = offset
+        remaining = padded
+        written = 0
+        while remaining > 0:
+            page_idx = pos // PAGE
+            mapping = self.fs.bmap(inode, page_idx)
+            if mapping is None:
+                raise FsError(f"write into hole at block {page_idx}")
+            lba512 = mapping[0] * (PAGE // SECTOR) + (pos % PAGE) // SECTOR
+            run_bytes = min(remaining, mapping[1] * PAGE - pos % PAGE)
+            chunk = None
+            if payload is not None:
+                chunk = payload[written:written + run_bytes]
+            yield from self.blockio.rw_bytes(thread, Opcode.WRITE, lba512,
+                                             run_bytes, data=chunk)
+            pos += run_bytes
+            remaining -= run_bytes
+            written += run_bytes
+
+    def _buffered_write(self, thread: Thread, inode: Inode, offset: int,
+                        nbytes: int, data: Optional[bytes]) -> Generator:
+        pos = offset
+        remaining = nbytes
+        consumed = 0
+        while remaining > 0:
+            page_idx = pos // PAGE
+            in_page = min(remaining, PAGE - pos % PAGE)
+            yield from thread.compute(self.params.page_cache_hit_ns)
+            yield from thread.compute(self.params.memcpy_ns(in_page))
+            if in_page == PAGE:
+                page = data[consumed:consumed + PAGE] if data is not None \
+                    else None
+            else:
+                # Read-modify-write of a partial page.
+                page = yield from self.pagecache.read_page(thread, inode,
+                                                           page_idx)
+                if page is not None:
+                    start = pos % PAGE
+                    new = data[consumed:consumed + in_page] \
+                        if data is not None else bytes(in_page)
+                    page = page[:start] + new + page[start + in_page:]
+            yield from self.pagecache.write_page(thread, inode, page_idx,
+                                                 page)
+            pos += in_page
+            remaining -= in_page
+            consumed += in_page
+
+    # -- metadata syscalls ----------------------------------------------------
+
+    def sys_append(self, proc: Process, thread: Thread, fd: int,
+                   nbytes: int, data: Optional[bytes] = None) -> Generator:
+        """Kernel-routed append for the BypassD interface (Table 3):
+        allocate, attach new FTEs, write unbuffered, update size."""
+        fdesc = proc.get_fd(fd)
+        if not fdesc.writable:
+            raise PermissionError_("fd not open for appending")
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.vfs_ext4_ns)
+        inode = fdesc.inode
+        lock = self._write_lock(inode)
+        yield from thread.block(lock.acquire())
+        try:
+            offset = inode.size
+            yield from self._extend_for_write(thread, inode, offset,
+                                              nbytes)
+            # Unbuffered write straight to the device (sub-sector
+            # alignment is handled by the write path's RMW).
+            yield from self._direct_write(thread, inode, offset, nbytes,
+                                          data)
+            self.fs.set_size(inode, offset + nbytes)
+        finally:
+            lock.release()
+        fdesc.modified = True
+        yield from self._exit(thread)
+        return offset
+
+    def sys_fallocate(self, proc: Process, thread: Thread, fd: int,
+                      offset: int, length: int) -> Generator:
+        fdesc = proc.get_fd(fd)
+        if not fdesc.writable:
+            raise PermissionError_("fd not open for writing")
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.vfs_ext4_ns)
+        inode = fdesc.inode
+        yield from self.fs.fallocate(inode, offset, length)
+        fdesc.modified = True
+        yield from self._exit(thread)
+
+    def sys_ftruncate(self, proc: Process, thread: Thread, fd: int,
+                      length: int) -> Generator:
+        fdesc = proc.get_fd(fd)
+        if not fdesc.writable:
+            raise PermissionError_("fd not open for writing")
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.vfs_ext4_ns)
+        inode = fdesc.inode
+        if self.bypassd is not None and inode.file_table is not None:
+            # Detach before blocks are freed so no stale FTE survives.
+            self.bypassd.on_truncate(inode, length)
+        shrinking = length < inode.size
+        yield from self.fs.truncate(inode, length)
+        if shrinking and length % PAGE and \
+                self.fs.bmap(inode, length // PAGE) is not None:
+            # Zero the tail of the (kept) final block so a later
+            # size extension cannot resurrect stale bytes.
+            block_end = (length // PAGE + 1) * PAGE
+            pad = block_end - length
+            yield from self._direct_write(thread, inode, length, pad,
+                                          bytes(pad))
+        self.pagecache.invalidate_inode(inode.ino)
+        fdesc.modified = True
+        yield from self._exit(thread)
+
+    def sys_fsync(self, proc: Process, thread: Thread,
+                  fd: int) -> Generator:
+        fdesc = proc.get_fd(fd)
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.vfs_ext4_ns // 2)
+        inode = fdesc.inode
+        yield from self.pagecache.sync_inode(thread, inode)
+        if fdesc.accessed or fdesc.modified:
+            self.fs.update_timestamps(inode, fdesc.accessed,
+                                      fdesc.modified)
+            fdesc.accessed = fdesc.modified = False
+        yield from thread.compute(self.params.journal_commit_ns)
+        yield from self.fs.fsync(inode)
+        yield from self._exit(thread)
+
+    def sys_unlink(self, proc: Process, thread: Thread,
+                   path: str) -> Generator:
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.open_base_ns)
+        path = proc.resolve_path(path)
+        inode = self.fs.lookup(path)
+        if self.bypassd is not None and inode.fmap_attachments:
+            self.bypassd.revoke(inode)
+        self.pagecache.invalidate_inode(inode.ino)
+        self.fs.unlink(path)
+        yield from self._exit(thread)
+
+    def sys_stat(self, proc: Process, thread: Thread,
+                 path: str) -> Generator:
+        yield from self._enter(thread)
+        yield from thread.compute(self.params.open_base_ns // 2)
+        inode = self.fs.lookup(proc.resolve_path(path))
+        yield from self._exit(thread)
+        return inode.attrs
+
+    # -- BypassD entry point ---------------------------------------------------
+
+    def sys_fmap(self, proc: Process, thread: Thread,
+                 fd: int) -> Generator:
+        """Map the file's blocks into the process address space.
+
+        Returns the starting VBA, or 0 if the file is not eligible for
+        direct access (Section 4.1).
+        """
+        if self.bypassd is None:
+            return 0
+        fdesc = proc.get_fd(fd)
+        yield from self._enter(thread)
+        vba = yield from self.bypassd.fmap(proc, thread, fdesc)
+        yield from self._exit(thread)
+        return vba

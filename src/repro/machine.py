@@ -1,0 +1,130 @@
+"""The simulated machine: every substrate wired together.
+
+A :class:`Machine` is the paper's testbed — Xeon cores, an IOMMU with
+the BypassD extension, an Optane-class NVMe SSD, a mounted ext4-like
+filesystem, the kernel I/O stack and the BypassD manager.  Experiments
+spawn processes, obtain per-process UserLibs (or baseline engines) and
+run workload generators against simulated time.
+
+    machine = Machine()
+    proc = machine.spawn_process("app")
+    lib = machine.userlib(proc)
+    thread = proc.new_thread()
+
+    def workload():
+        f = yield from lib.open(thread, "/data/file", write=True,
+                                create=True)
+        yield from f.append(thread, 4096, b"x" * 4096)
+        n, data = yield from f.pread(thread, 0, 4096)
+        yield from f.close(thread)
+
+    machine.run_process(workload)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .core.fmap import FmapManager
+from .core.userlib import UserLib
+from .fs.ext4.filesystem import Ext4Filesystem
+from .hw.iommu import IOMMU
+from .hw.memory import PhysicalMemory
+from .hw.params import DEFAULT_PARAMS, GiB, HardwareParams
+from .kernel.blockio import BlockIOLayer, KernelVolume
+from .kernel.pagecache import PageCache
+from .kernel.process import Process
+from .kernel.syscalls import Kernel
+from .nvme.device import NVMeDevice
+from .sim.cpu import CPUSet
+from .sim.engine import Simulator
+from .sim.trace import NULL_TRACER, Tracer
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A complete simulated host with one shared NVMe SSD."""
+
+    def __init__(self, params: Optional[HardwareParams] = None,
+                 capacity_bytes: int = 64 * GiB,
+                 memory_bytes: int = 8 * GiB,
+                 capture_data: bool = True,
+                 cache_ftes: bool = False,
+                 page_cache_pages: Optional[int] = None,
+                 trace: bool = False):
+        self.params = params if params is not None else DEFAULT_PARAMS
+        self.sim = Simulator()
+        self.tracer = Tracer(self.sim) if trace else NULL_TRACER
+        self.cpus = CPUSet(self.sim, self.params.cpu_cores)
+        self.memory = PhysicalMemory(memory_bytes)
+        self.iommu = IOMMU(self.params, cache_ftes=cache_ftes)
+        self.device = NVMeDevice(self.sim, self.params, self.iommu,
+                                 devid=1, capacity_bytes=capacity_bytes,
+                                 capture_data=capture_data)
+        self.volume = KernelVolume(self.sim, self.params, self.device)
+        self.fs = Ext4Filesystem.mkfs(capacity_bytes, devid=1,
+                                      params=self.params)
+        self.fs.mount(self.volume, now_fn=lambda: self.sim.now)
+        self.blockio = BlockIOLayer(self.sim, self.params, self.device)
+        if page_cache_pages is None:
+            page_cache_pages = max(64, memory_bytes // 4 // 4096)
+        self.pagecache = PageCache(page_cache_pages, self.blockio, self.fs)
+        self.kernel = Kernel(self.sim, self.params, self.fs, self.blockio,
+                             self.pagecache)
+        self.kernel.tracer = self.tracer
+        self.blockio.tracer = self.tracer
+        self.bypassd = FmapManager(self.sim, self.params, self.fs,
+                                   self.iommu)
+        self.kernel.bypassd = self.bypassd
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def spawn_process(self, name: str = "", uid: int = 1000,
+                      gids=None, chroot: str = "") -> Process:
+        proc = Process(self.cpus, uid=uid, gids=gids, name=name,
+                       chroot=chroot)
+        self.iommu.bind_pasid(proc.pasid, proc.aspace.page_table)
+        return proc
+
+    def spawn_container_process(self, container: str, name: str = "",
+                                uid: int = 1000) -> Process:
+        """Spawn a process inside a mount namespace (Section 5.2).
+
+        Containers share the device and the BypassD machinery without
+        modification: the kernel's path resolution confines each
+        container to its subtree, and everything below open() (fmap,
+        FTEs, the IOMMU checks) is namespace-agnostic.
+        """
+        root = f"/containers/{container}"
+        if not self.fs.exists("/containers"):
+            self.fs.mkdir("/containers")
+        if not self.fs.exists(root):
+            self.fs.mkdir(root)
+        return self.spawn_process(name=name or f"{container}-proc",
+                                  uid=uid, chroot=root)
+
+    def userlib(self, proc: Process,
+                optimized_appends: bool = False,
+                nonblocking_writes: bool = False) -> UserLib:
+        return UserLib(self.sim, proc, self.kernel, self.device,
+                       self.memory, optimized_appends=optimized_appends,
+                       nonblocking_writes=nonblocking_writes)
+
+    # -- running -------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def run(self, until: Optional[int] = None) -> int:
+        return self.sim.run(until)
+
+    def run_process(self, gen: Generator,
+                    until: Optional[int] = None) -> Any:
+        return self.sim.run_process(gen, until)
+
+    def spawn(self, thread, gen: Generator, name: str = ""):
+        """Start a workload on ``thread``; the core is released when it
+        finishes (see :meth:`repro.sim.cpu.Thread.run`)."""
+        return self.sim.process(thread.run(gen), name=name or thread.name)

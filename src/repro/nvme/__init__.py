@@ -1,0 +1,32 @@
+"""NVMe substrate: protocol structures, queue pairs, arbitration, device."""
+
+from .spec import (
+    DEVICE_PAGE_SIZE,
+    LBA_SIZE,
+    AddressKind,
+    Command,
+    Completion,
+    Opcode,
+    Status,
+)
+from .queues import QueueFullError, QueuePair
+from .scheduler import RoundRobinArbiter, WeightedArbiter
+from .backend import MediaBackend
+from .device import DeviceBusyError, NVMeDevice
+
+__all__ = [
+    "DEVICE_PAGE_SIZE",
+    "LBA_SIZE",
+    "AddressKind",
+    "Command",
+    "Completion",
+    "Opcode",
+    "Status",
+    "QueueFullError",
+    "QueuePair",
+    "RoundRobinArbiter",
+    "WeightedArbiter",
+    "MediaBackend",
+    "DeviceBusyError",
+    "NVMeDevice",
+]

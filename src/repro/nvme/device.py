@@ -1,0 +1,315 @@
+"""NVMe SSD device model.
+
+Command lifecycle (paper Sections 2, 4.3):
+
+1. Host writes an SQE and rings a doorbell (posted MMIO write).
+2. One of the device's parallel channels wins arbitration — strict
+   round robin across submission queues — and fetches the command over
+   PCIe.
+3. If the command addresses a *Virtual Block Address* (the BypassD
+   interface) the device asks the IOMMU to translate it via ATS.  For
+   reads the translation is serialised before media access (the device
+   needs the LBA first); for writes it overlaps the host->device data
+   transfer, so writes see no translation latency.
+4. Media access plus data transfer.  Each command's transfer runs at
+   the per-command controller rate, but all transfers share one device
+   link, which caps aggregate bandwidth.
+5. Completion entry is posted and the submitter's event triggers.
+
+The BypassD protection guarantee lives in step 3: a translation fault
+(no FTE, bad permission, wrong DevID) turns into an error completion
+without any media access.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..hw.iommu import IOMMU, TranslationFault
+from ..hw.params import HardwareParams
+from ..hw.pcie import PCIeLink
+from ..sim.engine import Event, Simulator
+from ..sim.resources import Resource, Store
+from .backend import MediaBackend
+from .queues import QueuePair
+from .scheduler import RoundRobinArbiter
+from .spec import (
+    DEVICE_PAGE_SIZE,
+    LBA_SIZE,
+    AddressKind,
+    Command,
+    Completion,
+    Opcode,
+    Status,
+)
+
+__all__ = ["NVMeDevice", "DeviceBusyError"]
+
+_BLOCKS_PER_PAGE = DEVICE_PAGE_SIZE // LBA_SIZE  # 8
+
+
+class DeviceBusyError(Exception):
+    """The device is exclusively claimed (e.g. by an SPDK process)."""
+
+
+class NVMeDevice:
+    """A shared, multi-queue low-latency SSD."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams, iommu: IOMMU,
+                 devid: int = 1, capacity_bytes: int = 1 << 40,
+                 capture_data: bool = True,
+                 arbiter: Optional[RoundRobinArbiter] = None):
+        self.sim = sim
+        self.params = params
+        self.iommu = iommu
+        self.devid = devid
+        self.link = PCIeLink(params)
+        self.backend = MediaBackend(params, capacity_bytes,
+                                    capture_data=capture_data)
+        self.arbiter = arbiter if arbiter is not None else RoundRobinArbiter()
+        self._qid_counter = itertools.count(1)
+        self._queues: Dict[int, QueuePair] = {}
+        self._work = Store(sim)
+        self._translated = Store(sim)  # VBA reads whose LBA is resolved
+        self._xfer_link = Resource(sim, 1)
+        self.exclusive_owner: Optional[str] = None
+        self.commands_served = 0
+        self.translation_faults = 0
+        for idx in range(params.device_channels):
+            sim.process(self._channel_loop(), name=f"nvme{devid}-ch{idx}")
+
+    # -- queue management (driver-facing) -------------------------------------
+
+    def create_queue_pair(self, pasid: int, depth: int = 1024,
+                          owner: Optional[str] = None) -> QueuePair:
+        """Create an SQ/CQ pair bound to ``pasid`` (Section 3.3)."""
+        if self.exclusive_owner is not None and owner != self.exclusive_owner:
+            raise DeviceBusyError(
+                f"device claimed exclusively by {self.exclusive_owner!r}"
+            )
+        qp = QueuePair(self.sim, next(self._qid_counter), pasid, depth)
+        self._queues[qp.qid] = qp
+        self.arbiter.add_queue(qp)
+        return qp
+
+    def delete_queue_pair(self, qp: QueuePair) -> None:
+        if qp.qid not in self._queues:
+            raise ValueError(f"unknown queue {qp.qid}")
+        del self._queues[qp.qid]
+        self.arbiter.remove_queue(qp)
+        qp.shutdown()
+
+    def claim_exclusive(self, owner: str) -> None:
+        """Userspace-driver claim: only possible with no other users."""
+        if self.exclusive_owner is not None:
+            raise DeviceBusyError(
+                f"already claimed by {self.exclusive_owner!r}"
+            )
+        if self._queues:
+            raise DeviceBusyError(
+                f"{len(self._queues)} queue pair(s) still attached"
+            )
+        self.exclusive_owner = owner
+
+    def release_exclusive(self, owner: str) -> None:
+        if self.exclusive_owner != owner:
+            raise DeviceBusyError(f"not claimed by {owner!r}")
+        self.exclusive_owner = None
+
+    @property
+    def queue_count(self) -> int:
+        return len(self._queues)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, qp: QueuePair, cmd: Command) -> Event:
+        """Host submits a command and rings the doorbell."""
+        ev = qp.submit(cmd)
+        self.link.posted_writes += 1
+        self._work.put((qp.qid, cmd.cid))
+        return ev
+
+    # -- device internals ---------------------------------------------------
+
+    def _channel_loop(self) -> Generator[Event, object, None]:
+        while True:
+            yield self._work.get()
+            # Commands that finished VBA translation resume first; they
+            # already won arbitration once.
+            ready = self._translated.try_get()
+            if ready is not None:
+                qp, cmd, segments = ready
+                yield from self._serve_read(qp, cmd, segments)
+                continue
+            picked = self.arbiter.select()
+            if picked is None:
+                continue  # queue was deleted with commands outstanding
+            qp, cmd = picked
+            yield from self._execute(qp, cmd)
+
+    def _execute(self, qp: QueuePair,
+                 cmd: Command) -> Generator[Event, object, None]:
+        sim, params = self.sim, self.params
+        # The doorbell write plus command fetch over PCIe.
+        yield sim.timeout(params.command_fetch_ns)
+
+        if cmd.opcode is Opcode.FLUSH:
+            yield sim.timeout(params.flush_ns)
+            self._complete(qp, cmd, Status.SUCCESS)
+            return
+
+        fault = self._validate(cmd)
+        if fault is not None:
+            self._complete(qp, cmd, fault[0], reason=fault[1])
+            return
+
+        translation_ns = 0
+        segments: Optional[List[Tuple[int, int]]] = None
+        if cmd.addr_kind is AddressKind.VBA:
+            try:
+                ats = self.iommu.translate_vba(
+                    qp.pasid, cmd.addr, cmd.nbytes,
+                    write=cmd.is_write, requester_devid=self.devid,
+                )
+            except TranslationFault as exc:
+                self.translation_faults += 1
+                self._complete(qp, cmd, Status.TRANSLATION_FAULT,
+                               reason=exc.reason)
+                return
+            translation_ns = ats.cost_ns
+            segments = self._segments(ats.pairs, cmd.addr, cmd.nbytes)
+        else:
+            segments = [(cmd.addr, cmd.nbytes // LBA_SIZE)]
+
+        for lba, nblocks in segments:
+            if not self.backend.check_range(lba, nblocks):
+                self._complete(qp, cmd, Status.LBA_OUT_OF_RANGE,
+                               reason=f"lba {lba} x{nblocks}")
+                return
+
+        # Validate the host DMA buffer through the IOMMU (cheap; IOTLB-hot).
+        if cmd.buffer_iova and qp.pasid:
+            try:
+                _, buf_cost = self.iommu.translate_iova(
+                    qp.pasid, cmd.buffer_iova, write=not cmd.is_write)
+            except TranslationFault as exc:
+                self.translation_faults += 1
+                self._complete(qp, cmd, Status.TRANSLATION_FAULT,
+                               reason=exc.reason)
+                return
+            yield sim.timeout(buf_cost)
+
+        if cmd.is_write:
+            yield from self._do_write(cmd, segments, translation_ns)
+            data = None
+            yield sim.timeout(params.completion_post_ns)
+            self._complete(qp, cmd, Status.SUCCESS, data=data,
+                           nbytes=cmd.nbytes)
+            return
+
+        if translation_ns:
+            # Reads need the LBA before media access, but the wait
+            # happens in the IOMMU, not on a media channel: park the
+            # command and free this channel for other work.
+            sim.process(self._await_translation(qp, cmd, segments,
+                                                translation_ns))
+            return
+        yield from self._serve_read(qp, cmd, segments)
+
+    def _await_translation(self, qp: QueuePair, cmd: Command,
+                           segments: List[Tuple[int, int]],
+                           translation_ns: int):
+        yield self.sim.timeout(translation_ns)
+        self._translated.put((qp, cmd, segments))
+        self._work.put((qp.qid, cmd.cid))
+
+    def _serve_read(self, qp: QueuePair, cmd: Command,
+                    segments: List[Tuple[int, int]]):
+        data = yield from self._do_read(cmd, segments)
+        yield self.sim.timeout(self.params.completion_post_ns)
+        self._complete(qp, cmd, Status.SUCCESS, data=data,
+                       nbytes=cmd.nbytes)
+
+    def _do_read(self, cmd: Command,
+                 segments: List[Tuple[int, int]]):
+        yield self.sim.timeout(self.backend.media_ns(Opcode.READ))
+        yield from self._transfer(cmd.nbytes)
+        chunks = []
+        for lba, nblocks in segments:
+            chunk = self.backend.read_blocks(lba, nblocks)
+            if chunk is not None:
+                chunks.append(chunk)
+        return b"".join(chunks) if chunks else None
+
+    def _do_write(self, cmd: Command, segments: List[Tuple[int, int]],
+                  translation_ns: int):
+        # Host->device transfer overlaps the VBA translation (Section 4.3):
+        # data lands in device memory while the IOMMU resolves the LBA.
+        t0 = self.sim.now
+        yield from self._transfer(cmd.nbytes)
+        elapsed = self.sim.now - t0
+        if translation_ns > elapsed:
+            yield self.sim.timeout(translation_ns - elapsed)
+        yield self.sim.timeout(self.backend.media_ns(Opcode.WRITE))
+        offset = 0
+        for lba, nblocks in segments:
+            chunk = None
+            if cmd.data is not None:
+                chunk = cmd.data[offset:offset + nblocks * LBA_SIZE]
+            self.backend.write_blocks(lba, nblocks, chunk)
+            offset += nblocks * LBA_SIZE
+
+    def _transfer(self, nbytes: int):
+        """Move ``nbytes`` across the shared link at the controller rate."""
+        link_ns = self.backend.link_ns(nbytes)
+        total_ns = self.backend.transfer_ns(nbytes)
+        yield self._xfer_link.request()
+        try:
+            yield self.sim.timeout(link_ns)
+        finally:
+            self._xfer_link.release()
+        if total_ns > link_ns:
+            yield self.sim.timeout(total_ns - link_ns)
+
+    def _validate(self, cmd: Command) -> Optional[Tuple[Status, str]]:
+        if cmd.addr_kind is AddressKind.VBA:
+            if cmd.addr % LBA_SIZE or cmd.nbytes % LBA_SIZE:
+                return (Status.INVALID_FIELD,
+                        "VBA I/O must be device-block aligned")
+        return None
+
+    def _segments(self, pairs: List[Tuple[int, int]], vba: int,
+                  nbytes: int) -> List[Tuple[int, int]]:
+        """Convert (device-page, page-count) pairs to 512 B LBA extents.
+
+        FTEs store device *page* numbers (4 KB, the Optane block size the
+        paper maps at); sub-page offsets come from the low VBA bits.
+        """
+        head_skip = (vba % DEVICE_PAGE_SIZE) // LBA_SIZE
+        blocks_needed = nbytes // LBA_SIZE
+        segments: List[Tuple[int, int]] = []
+        for page, npages in pairs:
+            if blocks_needed <= 0:
+                break
+            start = page * _BLOCKS_PER_PAGE + head_skip
+            avail = npages * _BLOCKS_PER_PAGE - head_skip
+            take = min(avail, blocks_needed)
+            if take > 0:
+                if segments and segments[-1][0] + segments[-1][1] == start:
+                    segments[-1] = (segments[-1][0], segments[-1][1] + take)
+                else:
+                    segments.append((start, take))
+                blocks_needed -= take
+            head_skip = 0
+        if blocks_needed > 0:
+            raise ValueError("translation pairs shorter than request")
+        return segments
+
+    def _complete(self, qp: QueuePair, cmd: Command, status: Status,
+                  data: Optional[bytes] = None, nbytes: int = 0,
+                  reason: str = "") -> None:
+        self.commands_served += 1
+        completion = Completion(cid=cmd.cid, status=status, data=data,
+                                fault_reason=reason)
+        qp.post_completion(completion, nbytes=nbytes)

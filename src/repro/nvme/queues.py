@@ -1,0 +1,98 @@
+"""NVMe queue pairs (submission + completion rings).
+
+A queue pair is created by the kernel driver and may be mapped into a
+process so requests can be submitted without kernel involvement.  With
+BypassD the driver registers the owning process's PASID with the queue
+at creation time; the device forwards that PASID with every ATS
+translation request so the IOMMU walks the right page table
+(Section 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..sim.engine import Event, Simulator
+from .spec import Command, Completion
+
+__all__ = ["QueuePair", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """Submission ring has no free slot."""
+
+
+class QueuePair:
+    """One SQ/CQ pair bound to a PASID.
+
+    Submission appends to the SQ ring; the device pops commands during
+    arbitration and later posts a :class:`Completion`.  Each in-flight
+    command has a completion event the submitter can poll or block on.
+    """
+
+    def __init__(self, sim: Simulator, qid: int, pasid: int,
+                 depth: int = 1024):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.sim = sim
+        self.qid = qid
+        self.pasid = pasid
+        self.depth = depth
+        self.sq: Deque[Command] = deque()
+        self.cq: Deque[Completion] = deque()
+        self._events: Dict[int, Event] = {}
+        self.submitted = 0
+        self.completed = 0
+        self.bytes_completed = 0
+        self.active = True
+
+    # -- host side -----------------------------------------------------------
+
+    def submit(self, cmd: Command) -> Event:
+        """Place a command on the SQ; returns its completion event."""
+        if not self.active:
+            raise QueueFullError(f"queue {self.qid} has been deleted")
+        if self.inflight >= self.depth:
+            raise QueueFullError(
+                f"queue {self.qid} full (depth {self.depth})"
+            )
+        ev = self.sim.event()
+        self._events[cmd.cid] = ev
+        self.sq.append(cmd)
+        self.submitted += 1
+        return ev
+
+    def pop_completion(self) -> Optional[Completion]:
+        if not self.cq:
+            return None
+        return self.cq.popleft()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._events)
+
+    @property
+    def sq_len(self) -> int:
+        return len(self.sq)
+
+    # -- device side -----------------------------------------------------------
+
+    def fetch(self) -> Optional[Command]:
+        """Device pops the head-of-line command."""
+        if not self.sq:
+            return None
+        return self.sq.popleft()
+
+    def post_completion(self, completion: Completion,
+                        nbytes: int = 0) -> None:
+        self.cq.append(completion)
+        self.completed += 1
+        self.bytes_completed += nbytes
+        ev = self._events.pop(completion.cid, None)
+        if ev is not None:
+            ev.succeed(completion)
+
+    def shutdown(self) -> None:
+        """Delete the queue pair; outstanding submissions fail."""
+        self.active = False

@@ -1,0 +1,99 @@
+"""Device-side command arbitration.
+
+NVMe controllers pick the next command by round-robin across submission
+queues (the paper leans on exactly this to share the device fairly
+between processes, Figure 11).  A weighted variant is provided for the
+ablation suggested in Section 6.3 ("devices could implement more
+sophisticated schedulers").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .queues import QueuePair
+from .spec import Command
+
+__all__ = ["RoundRobinArbiter", "WeightedArbiter"]
+
+
+class RoundRobinArbiter:
+    """Strict per-command round robin over non-empty queues."""
+
+    def __init__(self):
+        self._queues: List[QueuePair] = []
+        self._next = 0
+
+    def add_queue(self, qp: QueuePair) -> None:
+        self._queues.append(qp)
+
+    def remove_queue(self, qp: QueuePair) -> None:
+        idx = self._queues.index(qp)
+        self._queues.remove(qp)
+        if idx < self._next:
+            self._next -= 1
+        if self._queues:
+            self._next %= len(self._queues)
+        else:
+            self._next = 0
+
+    @property
+    def queue_count(self) -> int:
+        return len(self._queues)
+
+    def pending(self) -> int:
+        return sum(qp.sq_len for qp in self._queues)
+
+    def select(self) -> Optional[Tuple[QueuePair, Command]]:
+        """Pop the next command, continuing from the last served queue."""
+        n = len(self._queues)
+        for step in range(n):
+            qp = self._queues[(self._next + step) % n]
+            cmd = qp.fetch()
+            if cmd is not None:
+                self._next = (self._next + step + 1) % n
+                return qp, cmd
+        return None
+
+
+class WeightedArbiter(RoundRobinArbiter):
+    """Weighted round robin: a queue with weight w gets w picks per turn."""
+
+    def __init__(self):
+        super().__init__()
+        self._weights: Dict[int, int] = {}
+        self._credit: Dict[int, int] = {}
+
+    def add_queue(self, qp: QueuePair, weight: int = 1) -> None:
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        super().add_queue(qp)
+        self._weights[qp.qid] = weight
+        self._credit[qp.qid] = weight
+
+    def select(self) -> Optional[Tuple[QueuePair, Command]]:
+        n = len(self._queues)
+        if n == 0:
+            return None
+        for step in range(2 * n):  # second lap after credit refill
+            qp = self._queues[(self._next + step) % n]
+            if not qp.sq_len:
+                continue
+            if self._credit.get(qp.qid, 0) <= 0:
+                continue
+            cmd = qp.fetch()
+            if cmd is None:
+                continue
+            self._credit[qp.qid] -= 1
+            if self._credit[qp.qid] <= 0:
+                self._credit[qp.qid] = self._weights.get(qp.qid, 1)
+                self._next = (self._next + step + 1) % n
+            else:
+                self._next = (self._next + step) % n
+            return qp, cmd
+        # All queues with work are out of credit: refill and retry once.
+        if any(qp.sq_len for qp in self._queues):
+            for qid, weight in self._weights.items():
+                self._credit[qid] = weight
+            return super().select()
+        return None

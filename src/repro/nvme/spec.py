@@ -1,0 +1,97 @@
+"""NVMe command/completion structures and status codes.
+
+Only the slice of the NVMe 1.4 protocol the experiments exercise is
+modelled: I/O reads and writes, flush, and the BypassD extension where
+a command's address field carries a Virtual Block Address that the
+device must have translated by the IOMMU before accessing media
+(paper Sections 3.3, 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Opcode",
+    "Status",
+    "AddressKind",
+    "Command",
+    "Completion",
+    "LBA_SIZE",
+    "DEVICE_PAGE_SIZE",
+]
+
+LBA_SIZE = 512
+DEVICE_PAGE_SIZE = 4096
+
+_cid_counter = itertools.count(1)
+
+
+class Opcode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+
+
+class Status(enum.Enum):
+    SUCCESS = 0x0
+    INVALID_FIELD = 0x2
+    LBA_OUT_OF_RANGE = 0x80
+    # BypassD: the IOMMU refused the VBA translation; the SSD returns an
+    # error code to the process without touching media (Section 5.3).
+    TRANSLATION_FAULT = 0x1C1
+
+    @property
+    def ok(self) -> bool:
+        return self is Status.SUCCESS
+
+
+class AddressKind(enum.Enum):
+    LBA = "lba"  # classic: logical block address, 512 B units
+    VBA = "vba"  # BypassD: virtual block address, byte-granular
+
+
+@dataclass
+class Command:
+    """One submission queue entry."""
+
+    opcode: Opcode
+    addr: int                      # LBA (blocks) or VBA (bytes)
+    nbytes: int
+    addr_kind: AddressKind = AddressKind.LBA
+    buffer_iova: int = 0           # host DMA target/source
+    data: Optional[bytes] = None   # payload for writes (None = timing-only)
+    cid: int = field(default_factory=lambda: next(_cid_counter))
+
+    def __post_init__(self) -> None:
+        if self.opcode is not Opcode.FLUSH:
+            if self.nbytes <= 0:
+                raise ValueError("I/O command needs a positive size")
+            if self.addr < 0:
+                raise ValueError("negative address")
+            if (self.addr_kind is AddressKind.LBA
+                    and self.nbytes % LBA_SIZE):
+                raise ValueError(
+                    f"LBA I/O must be {LBA_SIZE}-byte aligned, got {self.nbytes}"
+                )
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode is Opcode.WRITE
+
+
+@dataclass
+class Completion:
+    """One completion queue entry."""
+
+    cid: int
+    status: Status
+    data: Optional[bytes] = None   # read payload (None = timing-only)
+    fault_reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok

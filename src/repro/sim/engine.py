@@ -1,0 +1,337 @@
+"""Discrete-event simulation engine.
+
+The whole reproduction runs on simulated time measured in integer
+nanoseconds.  Model code is written as generator *processes* that yield
+:class:`Event` objects; the :class:`Simulator` advances virtual time by
+draining a priority queue of scheduled events.
+
+The design follows the classic SimPy structure but is self-contained
+(no third-party dependency) and deliberately small: events carry a
+value or an exception, processes are events themselves (they trigger
+when the generator returns), and composite events (`any_of`/`all_of`)
+cover the few places the models need to wait on more than one thing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Carries an arbitrary ``cause`` describing why the process was
+    interrupted (e.g. access revocation racing an in-flight I/O).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event is *triggered* once `succeed` or `fail` is called; the
+    simulator then runs its callbacks (resuming any waiting processes)
+    at the current simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered")
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self.sim._post(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` nanoseconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = int(delay)
+        self._triggered = True
+        self._value = value
+        sim._post(self, delay=self.delay)
+
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """An event representing a running generator.
+
+    The process triggers (with the generator's return value) when the
+    generator finishes, or fails with the escaping exception.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"process target must be a generator, got {gen!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        poke = Event(self.sim)
+        poke.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
+        poke.succeed()
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exc is not None:
+            event._defused = True
+            self._step(throw=event._exc)
+        else:
+            self._step(send=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self._triggered:
+            return
+        self.sim._active_process = self
+        try:
+            if throw is not None:
+                target = self.gen.throw(throw)
+            else:
+                target = self.gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event objects"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("event belongs to a different simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Condition(Event):
+    """Base for composite events over several sub-events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        # Only *processed* events count: a pending Timeout is "triggered"
+        # from birth but has not occurred yet.
+        return {
+            i: ev._value
+            for i, ev in enumerate(self.events)
+            if ev.processed and ev._exc is None
+        }
+
+
+class AllOf(Condition):
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _post(self, event: Event, delay: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain the queue; stop once simulated time would pass ``until``.
+
+        Returns the simulation time when the run stopped.
+        """
+        while self._queue:
+            when, _seq, event = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = when
+            callbacks, event.callbacks = event.callbacks, None
+            if callbacks:
+                for fn in callbacks:
+                    fn(event)
+            if event._exc is not None and not event._defused:
+                raise event._exc
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_process(self, gen: ProcessGen, until: Optional[int] = None) -> Any:
+        """Convenience: spawn ``gen`` and run until it completes."""
+        proc = self.process(gen)
+        self.run(until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self.now}"
+            )
+        return proc.value
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,203 @@
+"""Measurement helpers: latency distributions, throughput, time series.
+
+Every benchmark in the paper reports one of three things — a latency
+distribution (avg / p99.9), a throughput (IOPS, GB/s, kops/s), or a
+value over time (Figure 12).  These recorders collect samples in
+simulated nanoseconds and convert to the units the paper prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LatencyRecorder",
+    "ThroughputCounter",
+    "TimeSeries",
+    "BreakdownRecorder",
+    "percentile",
+]
+
+NS_PER_US = 1_000.0
+NS_PER_S = 1_000_000_000.0
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (matches fio's reporting convention)."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct}")
+    ordered = sorted(samples)
+    if pct == 0.0:
+        return ordered[0]
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+class LatencyRecorder:
+    """Collects per-operation latency samples (ns)."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, ns: int) -> None:
+        if ns < 0:
+            raise ValueError(f"negative latency: {ns}")
+        self.samples.append(int(ns))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_ns(self) -> float:
+        if not self.samples:
+            raise ValueError(f"{self.name}: no samples")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ns / NS_PER_US
+
+    def percentile_ns(self, pct: float) -> float:
+        return percentile(self.samples, pct)
+
+    def percentile_us(self, pct: float) -> float:
+        return self.percentile_ns(pct) / NS_PER_US
+
+    @property
+    def min_ns(self) -> int:
+        return min(self.samples)
+
+    @property
+    def max_ns(self) -> int:
+        return max(self.samples)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        self.samples.extend(other.samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_us": self.mean_us,
+            "p50_us": self.percentile_us(50),
+            "p99_us": self.percentile_us(99),
+            "p999_us": self.percentile_us(99.9),
+        }
+
+
+class ThroughputCounter:
+    """Counts completed operations and bytes over a measured interval."""
+
+    def __init__(self, name: str = "throughput"):
+        self.name = name
+        self.ops = 0
+        self.bytes = 0
+        self.start_ns: Optional[int] = None
+        self.end_ns: Optional[int] = None
+
+    def start(self, now_ns: int) -> None:
+        self.start_ns = now_ns
+
+    def stop(self, now_ns: int) -> None:
+        self.end_ns = now_ns
+
+    def record(self, nbytes: int = 0, ops: int = 1) -> None:
+        self.ops += ops
+        self.bytes += nbytes
+
+    @property
+    def elapsed_ns(self) -> int:
+        if self.start_ns is None or self.end_ns is None:
+            raise ValueError(f"{self.name}: interval not closed")
+        return self.end_ns - self.start_ns
+
+    @property
+    def iops(self) -> float:
+        elapsed = self.elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.ops * NS_PER_S / elapsed
+
+    @property
+    def kops(self) -> float:
+        return self.iops / 1_000.0
+
+    @property
+    def gbps(self) -> float:
+        """Bandwidth in gigabytes per second (GB = 1e9 bytes, as fio)."""
+        elapsed = self.elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes / elapsed  # bytes/ns == GB/s
+
+    @property
+    def mbps(self) -> float:
+        return self.gbps * 1_000.0
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples, e.g. throughput over a run (Figure 12)."""
+
+    name: str = "series"
+    points: List[Tuple[int, float]] = field(default_factory=list)
+
+    def record(self, now_ns: int, value: float) -> None:
+        self.points.append((int(now_ns), float(value)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def between(self, t0_ns: int, t1_ns: int) -> List[float]:
+        return [v for t, v in self.points if t0_ns <= t < t1_ns]
+
+
+class BreakdownRecorder:
+    """Per-component time accounting (Table 1 / Figure 7 style)."""
+
+    def __init__(self, components: Sequence[str]):
+        self.components = list(components)
+        self.totals: Dict[str, int] = {c: 0 for c in self.components}
+        self.ops = 0
+
+    def record(self, **component_ns: int) -> None:
+        for name, ns in component_ns.items():
+            if name not in self.totals:
+                raise KeyError(f"unknown breakdown component: {name}")
+            self.totals[name] += int(ns)
+        self.ops += 1
+
+    def mean_ns(self, component: str) -> float:
+        if self.ops == 0:
+            raise ValueError("no operations recorded")
+        return self.totals[component] / self.ops
+
+    def mean_us(self, component: str) -> float:
+        return self.mean_ns(component) / NS_PER_US
+
+    def total_mean_ns(self) -> float:
+        if self.ops == 0:
+            raise ValueError("no operations recorded")
+        return sum(self.totals.values()) / self.ops
+
+    def shares(self) -> Dict[str, float]:
+        total = sum(self.totals.values())
+        if total == 0:
+            return {c: 0.0 for c in self.components}
+        return {c: self.totals[c] / total for c in self.components}
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(component, mean ns, share) rows like Table 1."""
+        shares = self.shares()
+        return [(c, self.mean_ns(c), shares[c]) for c in self.components]

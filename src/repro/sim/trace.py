@@ -1,0 +1,128 @@
+"""Span tracing: where did each nanosecond of an operation go?
+
+A :class:`Tracer` records (category, label, start, end) spans against
+simulated time.  Models open spans around their phases — UserLib around
+submission/copy, the kernel around its layers, the device around
+media/transfer — and analysis code aggregates them into the
+user/kernel/device breakdowns of Table 1 and Figure 7, *measured*
+rather than recomputed from constants.
+
+Tracing is opt-in and zero-cost when disabled: the module-level
+``NULL_TRACER`` swallows everything.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class Span:
+    category: str     # "user" | "kernel" | "device" | custom
+    label: str
+    start_ns: int
+    end_ns: int
+
+    def __post_init__(self) -> None:
+        if self.end_ns < self.start_ns:
+            raise ValueError(f"span ends before it starts: {self}")
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+class NullTracer:
+    """Does nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    @contextmanager
+    def span(self, category: str, label: str = "") -> Iterator[None]:
+        yield
+
+    def begin(self, category: str, label: str = "") -> int:
+        return 0
+
+    def end(self, token: int) -> None:
+        pass
+
+    def record(self, category: str, label: str, start_ns: int,
+               end_ns: int) -> None:
+        pass
+
+
+class Tracer:
+    """Collects spans against a simulator clock."""
+
+    enabled = True
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.spans: List[Span] = []
+        self._open: Dict[int, Tuple[str, str, int]] = {}
+        self._next_token = 1
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, category: str, label: str, start_ns: int,
+               end_ns: int) -> None:
+        self.spans.append(Span(category, label, start_ns, end_ns))
+
+    def begin(self, category: str, label: str = "") -> int:
+        token = self._next_token
+        self._next_token += 1
+        self._open[token] = (category, label, self.sim.now)
+        return token
+
+    def end(self, token: int) -> None:
+        category, label, start = self._open.pop(token)
+        self.record(category, label, start, self.sim.now)
+
+    @contextmanager
+    def span(self, category: str, label: str = "") -> Iterator[None]:
+        """For code that cannot yield between begin and end.  Model
+        generators should use begin()/end() around their yields."""
+        token = self.begin(category, label)
+        try:
+            yield
+        finally:
+            self.end(token)
+
+    # -- analysis ------------------------------------------------------------
+
+    def total_ns(self, category: str,
+                 label: Optional[str] = None) -> int:
+        return sum(s.duration_ns for s in self.spans
+                   if s.category == category
+                   and (label is None or s.label == label))
+
+    def by_category(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.spans:
+            out[s.category] = out.get(s.category, 0) + s.duration_ns
+        return out
+
+    def by_label(self, category: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.spans:
+            if s.category == category:
+                out[s.label] = out.get(s.label, 0) + s.duration_ns
+        return out
+
+    def between(self, t0: int, t1: int) -> List[Span]:
+        return [s for s in self.spans
+                if s.start_ns >= t0 and s.end_ns <= t1]
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,90 @@
+"""Unit tests for the fio driver itself."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.apps.fio import FioJob, run_fio
+
+
+def machine():
+    return Machine(capacity_bytes=2 * GiB, memory_bytes=256 << 20,
+                   capture_data=False)
+
+
+class TestJobValidation:
+    def test_bad_rw(self):
+        with pytest.raises(ValueError):
+            FioJob(rw="randrw")
+
+    def test_unaligned_block(self):
+        with pytest.raises(ValueError):
+            FioJob(block_size=100)
+
+    def test_block_bigger_than_file(self):
+        with pytest.raises(ValueError):
+            FioJob(block_size=1 << 20, file_size=4096)
+
+    def test_flags(self):
+        assert FioJob(rw="randwrite").is_write
+        assert FioJob(rw="randread").is_random
+        assert not FioJob(rw="read").is_random
+
+
+class TestRun:
+    def test_op_count_respected(self):
+        m = machine()
+        job = FioJob(engine="bypassd", rw="randread", block_size=4096,
+                     file_size=8 << 20, threads=2, ops_per_thread=25)
+        r = run_fio(m, job)
+        assert r.latency.count == 50
+        assert r.throughput.ops == 50
+
+    def test_sequential_offsets_cycle(self):
+        m = machine()
+        job = FioJob(engine="sync", rw="read", block_size=4096,
+                     file_size=64 * 1024, ops_per_thread=40)
+        r = run_fio(m, job)   # 16 blocks, wraps around
+        assert r.latency.count == 40
+
+    def test_deterministic_given_seed(self):
+        def once():
+            m = machine()
+            job = FioJob(engine="bypassd", rw="randread",
+                         block_size=4096, file_size=8 << 20,
+                         ops_per_thread=30, seed=99)
+            return run_fio(m, job).latency.samples
+
+        assert once() == once()
+
+    def test_per_process_stats_populated(self):
+        m = machine()
+        job = FioJob(engine="sync", rw="randwrite", block_size=4096,
+                     file_size=4 << 20, processes=3, ops_per_thread=20)
+        r = run_fio(m, job)
+        assert len(r.per_process_gbps) == 3
+        assert len(r.per_process_lat_us) == 3
+        assert all(v > 0 for v in r.per_process_gbps)
+
+    def test_throughput_units_consistent(self):
+        m = machine()
+        job = FioJob(engine="spdk", rw="randread", block_size=4096,
+                     file_size=8 << 20, ops_per_thread=50)
+        r = run_fio(m, job)
+        assert r.mbps == pytest.approx(r.gbps * 1000)
+        assert r.iops == pytest.approx(r.gbps * 1e9 / 4096)
+
+    def test_write_job_on_bypassd_stays_direct(self):
+        m = machine()
+        job = FioJob(engine="bypassd", rw="randwrite", block_size=4096,
+                     file_size=8 << 20, ops_per_thread=30)
+        r = run_fio(m, job)
+        # Overwrites of a fallocated file never touch the kernel,
+        # so mean latency stays near the device write latency.
+        assert r.mean_lat_us < 5.0
+
+    def test_ramp_ops_excluded(self):
+        m = machine()
+        job = FioJob(engine="sync", rw="randread", block_size=4096,
+                     file_size=8 << 20, ops_per_thread=10, ramp_ops=5)
+        r = run_fio(m, job)
+        assert r.latency.count == 10

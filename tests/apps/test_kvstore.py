@@ -1,0 +1,183 @@
+"""Unit + property tests for the real on-disk B-tree KV store."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GiB, Machine
+from repro.apps.kvstore import KVError, KVStore
+
+
+def fresh_store(size=32 << 20):
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    proc = m.spawn_process()
+    lib = m.userlib(proc)
+    t = proc.new_thread()
+
+    def body():
+        f = yield from lib.open(t, "/kv", write=True, create=True)
+        yield from m.kernel.sys_fallocate(proc, t, f.state.fd, 0, size)
+        store = yield from KVStore.create(f, t)
+        return f, store
+
+    f, store = m.run_process(body())
+    return m, t, f, store
+
+
+def drive(m, gen):
+    return m.run_process(gen)
+
+
+class TestBasics:
+    def test_put_get(self):
+        m, t, f, store = fresh_store()
+
+        def body():
+            yield from store.put(b"alpha", b"1")
+            yield from store.put(b"beta", b"2")
+            a = yield from store.get(b"alpha")
+            b = yield from store.get(b"beta")
+            miss = yield from store.get(b"gamma")
+            return a, b, miss
+
+        assert drive(m, body()) == (b"1", b"2", None)
+
+    def test_overwrite(self):
+        m, t, f, store = fresh_store()
+
+        def body():
+            yield from store.put(b"k", b"old")
+            yield from store.put(b"k", b"new")
+            v = yield from store.get(b"k")
+            return v, store.item_count
+
+        assert drive(m, body()) == (b"new", 1)
+
+    def test_validation(self):
+        m, t, f, store = fresh_store()
+
+        def bad_key():
+            yield from store.put(b"", b"v")
+
+        with pytest.raises(KVError):
+            drive(m, bad_key())
+
+        def big_value():
+            yield from store.put(b"k", b"v" * 5000)
+
+        with pytest.raises(KVError):
+            drive(m, big_value())
+
+    def test_splits_and_tree_check(self):
+        m, t, f, store = fresh_store()
+
+        def body():
+            for i in range(800):
+                yield from store.put(f"key-{i:05d}".encode(),
+                                     f"val-{i}".encode() * 10)
+            yield from store.check_tree()
+            return store.page_count
+
+        pages = drive(m, body())
+        assert pages > 10  # definitely split
+
+    def test_scan_ordered(self):
+        m, t, f, store = fresh_store()
+
+        def body():
+            for i in range(300):
+                yield from store.put(f"k{i:04d}".encode(), b"v")
+            out = yield from store.scan(b"k0100", 20)
+            return out
+
+        out = drive(m, body())
+        assert [k for k, _ in out] == \
+            [f"k{i:04d}".encode() for i in range(100, 120)]
+
+    def test_scan_past_end(self):
+        m, t, f, store = fresh_store()
+
+        def body():
+            yield from store.put(b"a", b"1")
+            out = yield from store.scan(b"z", 5)
+            return out
+
+        assert drive(m, body()) == []
+
+    def test_persistence_across_reopen(self):
+        m, t, f, store = fresh_store()
+
+        def write():
+            for i in range(100):
+                yield from store.put(f"p{i}".encode(), str(i).encode())
+            yield from store.flush()
+
+        drive(m, write())
+
+        def reopen():
+            store2 = yield from KVStore.open(f, t)
+            vals = []
+            for i in range(100):
+                v = yield from store2.get(f"p{i}".encode())
+                vals.append(v)
+            yield from store2.check_tree()
+            return vals
+
+        vals = drive(m, reopen())
+        assert vals == [str(i).encode() for i in range(100)]
+
+    def test_open_bad_magic(self):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+        proc = m.spawn_process()
+        lib = m.userlib(proc)
+        t = proc.new_thread()
+
+        def body():
+            f = yield from lib.open(t, "/junk", write=True, create=True)
+            yield from f.append(t, 4096, b"\xde\xad" * 2048)
+            yield from KVStore.open(f, t)
+
+        with pytest.raises(KVError):
+            m.run_process(body())
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(
+        st.binary(min_size=1, max_size=24),
+        st.binary(max_size=64)), min_size=1, max_size=120))
+    def test_matches_dict(self, items):
+        """Property: the store behaves exactly like a dict."""
+        m, t, f, store = fresh_store()
+
+        def body():
+            model = {}
+            for k, v in items:
+                yield from store.put(k, v)
+                model[k] = v
+            yield from store.check_tree()
+            for k, v in model.items():
+                got = yield from store.get(k)
+                assert got == v
+            assert store.item_count == len(model)
+
+        drive(m, body())
+
+    def test_random_order_insert_then_full_scan(self):
+        m, t, f, store = fresh_store()
+        rng = random.Random(42)
+        keys = [f"{rng.randrange(10**9):09d}".encode()
+                for _ in range(400)]
+
+        def body():
+            for k in keys:
+                yield from store.put(k, k[::-1])
+            out = yield from store.scan(b"0", 1000)
+            return out
+
+        out = drive(m, body())
+        unique_sorted = sorted(set(keys))
+        assert [k for k, _ in out] == unique_sorted
+        assert all(v == k[::-1] for k, v in out)

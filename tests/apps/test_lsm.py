@@ -1,0 +1,337 @@
+"""Tests for the real LSM-tree store."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GiB, Machine
+from repro.apps.lsm import BloomFilter, LSMStore
+from repro.baselines.registry import make_engine
+
+
+def fresh_store(engine_name="bypassd"):
+    m = Machine(capacity_bytes=2 * GiB, memory_bytes=256 << 20)
+    proc = m.spawn_process()
+    engine = make_engine(m, proc, engine_name)
+    t = proc.new_thread()
+
+    def body():
+        store = yield from LSMStore.create(m, proc, engine, t)
+        return store
+
+    store = m.run_process(body())
+    return m, store
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        b = BloomFilter(bits=4096, hashes=3)
+        keys = [f"k{i}".encode() for i in range(200)]
+        for k in keys:
+            b.add(k)
+        assert all(b.might_contain(k) for k in keys)
+
+    def test_some_true_negatives(self):
+        b = BloomFilter(bits=1 << 16, hashes=4)
+        for i in range(100):
+            b.add(f"in{i}".encode())
+        misses = sum(1 for i in range(1000)
+                     if not b.might_contain(f"out{i}".encode()))
+        assert misses > 900  # fp rate well under 10%
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0)
+
+
+class TestBasics:
+    def test_put_get_in_memtable(self):
+        m, store = fresh_store()
+
+        def body():
+            yield from store.put(b"k", b"v")
+            return (yield from store.get(b"k"))
+
+        assert m.run_process(body()) == b"v"
+        assert store.flushes == 0
+
+    def test_flush_to_sstable_and_read_back(self):
+        m, store = fresh_store()
+
+        def body():
+            for i in range(100):
+                yield from store.put(f"key{i:03d}".encode(),
+                                     f"value-{i}".encode() * 4)
+            yield from store.flush()
+            assert not store.memtable
+            vals = []
+            for i in (0, 42, 99):
+                v = yield from store.get(f"key{i:03d}".encode())
+                vals.append(v)
+            return vals
+
+        vals = m.run_process(body())
+        assert vals == [b"value-0" * 4, b"value-42" * 4,
+                        b"value-99" * 4]
+        assert store.flushes == 1
+        assert store.resident_tables == 1
+
+    def test_automatic_flush_on_memtable_limit(self):
+        m, store = fresh_store()
+
+        def body():
+            big = b"x" * 1024
+            for i in range(100):  # 100KB > 64KB limit
+                yield from store.put(f"k{i:04d}".encode(), big)
+            return store.flushes
+
+        assert m.run_process(body()) >= 1
+
+    def test_compaction_cascades(self):
+        m, store = fresh_store()
+
+        def body():
+            for batch in range(3):
+                for i in range(50):
+                    yield from store.put(
+                        f"b{batch}-k{i:03d}".encode(), b"v" * 100)
+                yield from store.flush()
+            # Three flushes: first landed in L0, later ones merged down.
+            total = store.total_records_on_disk()
+            return total
+
+        total = m.run_process(body())
+        assert total == 150
+        assert store.compactions >= 1
+
+    def test_overwrite_latest_wins_across_levels(self):
+        m, store = fresh_store()
+
+        def body():
+            yield from store.put(b"dup", b"old")
+            yield from store.flush()
+            yield from store.put(b"dup", b"new")
+            yield from store.flush()   # compacts old+new
+            return (yield from store.get(b"dup"))
+
+        assert m.run_process(body()) == b"new"
+
+    def test_delete_tombstone(self):
+        m, store = fresh_store()
+
+        def body():
+            yield from store.put(b"gone", b"v")
+            yield from store.flush()
+            yield from store.delete(b"gone")
+            v1 = yield from store.get(b"gone")   # memtable tombstone
+            yield from store.flush()
+            v2 = yield from store.get(b"gone")   # on-disk resolution
+            return v1, v2
+
+        assert m.run_process(body()) == (None, None)
+
+    def test_missing_key(self):
+        m, store = fresh_store()
+
+        def body():
+            yield from store.put(b"a", b"1")
+            yield from store.flush()
+            return (yield from store.get(b"nope"))
+
+        assert m.run_process(body()) is None
+
+    def test_bloom_filters_skip_levels(self):
+        m, store = fresh_store()
+
+        def body():
+            for i in range(60):
+                yield from store.put(f"present{i}".encode(), b"v")
+            yield from store.flush()
+            for i in range(300):
+                yield from store.get(f"absent{i}".encode())
+            return store.bloom_skips
+
+        assert m.run_process(body()) > 200
+
+    def test_scan_merged_and_ordered(self):
+        m, store = fresh_store()
+
+        def body():
+            for i in range(0, 100, 2):   # evens on disk
+                yield from store.put(f"s{i:03d}".encode(),
+                                     str(i).encode())
+            yield from store.flush()
+            for i in range(1, 100, 2):   # odds in the memtable
+                yield from store.put(f"s{i:03d}".encode(),
+                                     str(i).encode())
+            out = yield from store.scan(b"s010", 10)
+            return out
+
+        out = m.run_process(body())
+        assert [k for k, _ in out] == \
+            [f"s{i:03d}".encode() for i in range(10, 20)]
+
+    def test_wal_truncated_after_flush(self):
+        m, store = fresh_store()
+
+        def body():
+            for i in range(30):
+                yield from store.put(f"w{i}".encode(), b"v" * 50)
+            yield from store.flush()
+            return store.wal.size
+
+        assert m.run_process(body()) == 0
+
+    def test_compacted_tables_unlinked(self):
+        m, store = fresh_store()
+
+        def body():
+            for batch in range(3):
+                for i in range(30):
+                    yield from store.put(f"c{batch}-{i}".encode(), b"v")
+                yield from store.flush()
+
+        m.run_process(body())
+        # Only the resident tables' files remain.
+        live = {t.path for t in store.levels if t is not None}
+        for seq in range(1, store._table_seq + 1):
+            path = f"/lsm.sst{seq}"
+            assert m.fs.exists(path) == (path in live)
+        m.fs.fsck()
+
+    def test_works_on_sync_engine_too(self):
+        m, store = fresh_store("sync")
+
+        def body():
+            for i in range(50):
+                yield from store.put(f"k{i}".encode(), b"v" * 64)
+            yield from store.flush()
+            return (yield from store.get(b"k25"))
+
+        assert m.run_process(body()) == b"v" * 64
+
+
+class TestRecovery:
+    def _reopen(self, m, proc=None):
+        proc = proc or m.spawn_process()
+        engine = make_engine(m, proc, "bypassd")
+        t = proc.new_thread()
+
+        def body():
+            return (yield from LSMStore.open(m, proc, engine, t))
+
+        return m.run_process(body())
+
+    def test_reopen_restores_tables_and_wal(self):
+        m, store = fresh_store()
+
+        def body():
+            for i in range(80):
+                yield from store.put(f"flushed{i:03d}".encode(),
+                                     b"F" * 64)
+            yield from store.flush()
+            # These live only in the WAL + memtable at "crash" time.
+            for i in range(10):
+                yield from store.put(f"pending{i}".encode(), b"P" * 32)
+
+        m.run_process(body())
+        # "Crash": forget the store object entirely; reopen from disk.
+        recovered = self._reopen(m)
+
+        def verify():
+            v1 = yield from recovered.get(b"flushed042")
+            v2 = yield from recovered.get(b"pending7")
+            v3 = yield from recovered.get(b"neverwritten")
+            return v1, v2, v3
+
+        v1, v2, v3 = m.run_process(verify())
+        assert v1 == b"F" * 64       # from the recovered SSTable
+        assert v2 == b"P" * 32       # replayed from the WAL
+        assert v3 is None
+        assert recovered.total_records_on_disk() == 80
+        assert len(recovered.memtable) == 10
+
+    def test_recovered_bloom_filters_work(self):
+        m, store = fresh_store()
+
+        def body():
+            for i in range(60):
+                yield from store.put(f"in{i}".encode(), b"v")
+            yield from store.flush()
+
+        m.run_process(body())
+        recovered = self._reopen(m)
+
+        def probe():
+            for i in range(200):
+                yield from recovered.get(f"absent{i}".encode())
+            return recovered.bloom_skips
+
+        assert m.run_process(probe()) > 150
+
+    def test_recovery_after_compactions(self):
+        m, store = fresh_store()
+
+        def body():
+            for batch in range(3):
+                for i in range(40):
+                    yield from store.put(
+                        f"b{batch}k{i:02d}".encode(),
+                        f"{batch}-{i}".encode())
+                yield from store.flush()
+
+        m.run_process(body())
+        recovered = self._reopen(m)
+
+        def verify():
+            vals = []
+            for batch in range(3):
+                v = yield from recovered.get(f"b{batch}k05".encode())
+                vals.append(v)
+            return vals
+
+        assert m.run_process(verify()) == [b"0-5", b"1-5", b"2-5"]
+        assert recovered._table_seq == store._table_seq
+
+    def test_empty_store_reopen(self):
+        m, store = fresh_store()
+        recovered = self._reopen(m)
+        assert recovered.resident_tables == 0
+        assert not recovered.memtable
+
+
+class TestLSMProperty:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=120),
+        st.sampled_from(["put", "delete", "get"])),
+        min_size=1, max_size=80),
+        st.integers(min_value=0, max_value=999))
+    def test_matches_dict_with_random_flushes(self, ops, seed):
+        rng = random.Random(seed)
+        m, store = fresh_store()
+        model = {}
+
+        def body():
+            for keyn, op in ops:
+                key = f"key{keyn:03d}".encode()
+                if op == "put":
+                    value = f"v{rng.randrange(1000)}".encode()
+                    yield from store.put(key, value)
+                    model[key] = value
+                elif op == "delete":
+                    yield from store.delete(key)
+                    model.pop(key, None)
+                else:
+                    got = yield from store.get(key)
+                    assert got == model.get(key)
+                if rng.random() < 0.08:
+                    yield from store.flush()
+            yield from store.flush()
+            for key, value in model.items():
+                got = yield from store.get(key)
+                assert got == value
+
+        m.run_process(body())

@@ -1,0 +1,132 @@
+"""Unit tests for the workload models' geometry and mechanics."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.apps.bpfkv import BPFKVGeometry
+from repro.apps.kvell import KVellConfig
+from repro.apps.wiredtiger import BTreeGeometry
+
+
+class TestBTreeGeometry:
+    def test_paper_scale(self):
+        """1B keys, 512B pages, 16B k/v: the paper's 46GB store."""
+        g = BTreeGeometry(1_000_000_000)
+        assert g.entries_per_leaf == 16
+        assert 30 * (1 << 30) < g.file_size < 50 * (1 << 30)
+        assert 5 <= g.height <= 8
+
+    def test_level_sizes_shrink(self):
+        g = BTreeGeometry(100_000)
+        sizes = g.level_sizes
+        assert sizes[-1] == 1  # root
+        for a, b in zip(sizes, sizes[1:]):
+            assert b < a
+
+    def test_path_pages_root_first(self):
+        g = BTreeGeometry(100_000)
+        path = g.path_pages(0)
+        assert len(path) == g.height
+        assert path[0] == 0  # root is the first page in the file
+        # Leaf pages live in the last region of the file.
+        leaf_base = g.total_pages - g.level_sizes[0]
+        assert path[-1] >= leaf_base
+
+    def test_adjacent_keys_share_leaf(self):
+        g = BTreeGeometry(100_000)
+        p1 = g.path_pages(0)
+        p2 = g.path_pages(1)
+        assert p1 == p2  # same leaf: 16 entries per leaf
+
+    def test_distant_keys_different_leaves(self):
+        g = BTreeGeometry(100_000)
+        assert g.path_pages(0)[-1] != g.path_pages(50_000)[-1]
+
+    def test_key_out_of_range(self):
+        g = BTreeGeometry(1000)
+        with pytest.raises(KeyError):
+            g.path_pages(1000)
+
+
+class TestBPFKVGeometry:
+    def test_paper_scale_six_levels(self):
+        g = BPFKVGeometry()
+        assert g.fanout == 32
+        assert g.height == 6       # paper: 6-level index for 920M
+        assert len(g.lookup_offsets(0)) == 7  # 6 index + 1 value
+
+    def test_offsets_are_node_aligned(self):
+        g = BPFKVGeometry(n_objects=10_000_000)
+        for key in (0, 12345, 9_999_999):
+            for off in g.lookup_offsets(key):
+                assert off % 512 == 0
+
+    def test_index_before_log(self):
+        g = BPFKVGeometry(n_objects=1_000_000)
+        offsets = g.lookup_offsets(500_000)
+        assert all(off < g.log_offset for off in offsets[:-1])
+        assert offsets[-1] >= g.log_offset
+
+    def test_distinct_levels(self):
+        g = BPFKVGeometry(n_objects=1_000_000)
+        offsets = g.lookup_offsets(999_999)
+        assert len(set(offsets)) == len(offsets)
+
+    def test_small_store_fewer_levels(self):
+        g = BPFKVGeometry(n_objects=1000)
+        assert g.height == 2
+        assert len(g.lookup_offsets(999)) == 3
+
+
+class TestKVellConfig:
+    def test_slot_size_power_of_two(self):
+        c = KVellConfig()
+        assert c.item_size == 2048  # 16 + 1024 rounds up
+        assert c.items_per_page == 2
+
+    def test_slab_sizing(self):
+        c = KVellConfig(n_objects=1000)
+        assert c.slab_bytes(4) >= 250 * c.item_size
+
+    def test_item_offsets_within_slab(self):
+        c = KVellConfig(n_objects=1000)
+        slab = c.slab_bytes(1)
+        for i in (0, 1, 500, 999):
+            off = c.item_offset(i)
+            assert 0 <= off < slab
+            assert off % c.item_size == 0 or off % 4096 == 0
+
+
+class TestWiredTigerMechanics:
+    def test_cache_contention_grows_with_threads(self):
+        """The cache lock is the high-thread bottleneck (Figure 13)."""
+        from repro.apps.wiredtiger import run_wiredtiger_ycsb
+
+        geom = BTreeGeometry(200_000)
+
+        def latency(threads):
+            m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                        capture_data=False)
+            r = run_wiredtiger_ycsb(m, "bypassd", "C", threads=threads,
+                                    ops_per_thread=120, geometry=geom)
+            return r.mean_lat_us
+
+        # More threads warm the shared cache (hit rate rises), but past
+        # the core/lock limits latency climbs anyway.
+        assert latency(16) > latency(1)
+
+    def test_cache_hit_rate_responds_to_cache_size(self):
+        from repro.apps.wiredtiger import run_wiredtiger_ycsb
+
+        geom = BTreeGeometry(200_000)
+
+        def hit_rate(ratio):
+            m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                        capture_data=False)
+            r = run_wiredtiger_ycsb(
+                m, "sync", "C", threads=1, ops_per_thread=200,
+                geometry=geom,
+                cache_bytes=int(geom.file_size * ratio))
+            return r.cache_hit_rate
+
+        assert hit_rate(0.5) > hit_rate(0.05)

@@ -1,0 +1,91 @@
+"""Smoke tests for the figure runners at miniature scale — these are
+the exact code paths the benchmarks drive, kept honest in CI."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.apps.bpfkv import BPFKVGeometry, run_bpfkv
+from repro.apps.kvell import KVellConfig, run_kvell
+from repro.apps.wiredtiger import BTreeGeometry, run_wiredtiger_ycsb
+
+
+def machine(capacity=2 * GiB):
+    return Machine(capacity_bytes=capacity, memory_bytes=256 << 20,
+                   capture_data=False)
+
+
+class TestWiredTigerRunner:
+    GEOM = BTreeGeometry(100_000)
+
+    @pytest.mark.parametrize("workload", ["A", "B", "C", "D", "E", "F"])
+    def test_all_workloads_run(self, workload):
+        r = run_wiredtiger_ycsb(machine(), "bypassd", workload,
+                                threads=1, ops_per_thread=40,
+                                geometry=self.GEOM)
+        assert r.kops > 0
+        assert r.mean_lat_us > 0
+        assert 0 <= r.cache_hit_rate <= 1
+
+    def test_scan_workload_issues_fewer_ios_per_pair(self):
+        """YCSB E: one I/O returns many pairs (Section 6.4)."""
+        r_scan = run_wiredtiger_ycsb(machine(), "sync", "E", threads=1,
+                                     ops_per_thread=60,
+                                     geometry=self.GEOM)
+        r_read = run_wiredtiger_ycsb(machine(), "sync", "C", threads=1,
+                                     ops_per_thread=60,
+                                     geometry=self.GEOM)
+        # Scans return ~50 pairs/op yet do not cost 50x the I/O.
+        assert r_scan.ios < 12 * r_read.ios
+
+    def test_insert_heavy_needs_little_io(self):
+        """YCSB D: latest-distribution reads mostly hit the cache."""
+        r_d = run_wiredtiger_ycsb(machine(), "sync", "D", threads=1,
+                                  ops_per_thread=80, geometry=self.GEOM)
+        r_c = run_wiredtiger_ycsb(machine(), "sync", "C", threads=1,
+                                  ops_per_thread=80, geometry=self.GEOM)
+        assert r_d.cache_hit_rate > r_c.cache_hit_rate
+
+
+class TestBPFKVRunner:
+    def test_lookup_costs_seven_ios(self):
+        geom = BPFKVGeometry(n_objects=34_000_000)
+        m = machine(capacity=8 * GiB)
+        r = run_bpfkv(m, "sync", threads=1, lookups_per_thread=20,
+                      geometry=geom)
+        # 7 I/Os x ~7.85us through the kernel.
+        assert 45 < r.mean_lat_us < 70
+
+    def test_small_store_fewer_ios(self):
+        geom = BPFKVGeometry(n_objects=1000)  # 2 index levels + value
+        m = machine()
+        r = run_bpfkv(m, "sync", threads=1, lookups_per_thread=20,
+                      geometry=geom)
+        assert r.mean_lat_us < 30
+
+
+class TestKVellRunner:
+    @pytest.mark.parametrize("workload", ["A", "B", "C"])
+    def test_workloads_run(self, workload):
+        config = KVellConfig(n_objects=100_000, queue_depth=4)
+        m = machine()
+        r = run_kvell(m, workload, threads=2, ops_per_thread=40,
+                      config=config)
+        assert r.kops > 0
+        assert r.queue_depth == 4
+
+    def test_deeper_queue_more_throughput_more_latency(self):
+        def run(qd):
+            config = KVellConfig(n_objects=100_000, queue_depth=qd)
+            return run_kvell(machine(), "C", threads=1,
+                             ops_per_thread=128, config=config)
+
+        shallow, deep = run(1), run(32)
+        assert deep.kops > 2 * shallow.kops
+        assert deep.mean_lat_us > 2 * shallow.mean_lat_us
+
+    def test_bypassd_engine_variant(self):
+        config = KVellConfig(n_objects=100_000, engine="bypassd")
+        r = run_kvell(machine(), "B", threads=2, ops_per_thread=40,
+                      config=config)
+        assert r.engine == "bypassd"
+        assert r.mean_lat_us < 6.0  # sync userspace I/O per op

@@ -1,0 +1,115 @@
+"""Unit + property tests for the YCSB generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.ycsb import (
+    WORKLOAD_MIXES,
+    LatestGenerator,
+    YCSBWorkload,
+    ZipfianGenerator,
+    fnv_hash,
+)
+
+
+class TestZipfian:
+    def test_keys_in_range(self):
+        g = ZipfianGenerator(1000, seed=1)
+        for _ in range(500):
+            assert 0 <= g.next() < 1000
+
+    def test_skew_unscrambled(self):
+        """Unscrambled zipfian: rank 0 is by far the hottest."""
+        g = ZipfianGenerator(10_000, seed=2, scrambled=False)
+        counts = {}
+        for _ in range(5000):
+            k = g.next()
+            counts[k] = counts.get(k, 0) + 1
+        top = max(counts, key=counts.get)
+        assert top == 0
+        assert counts[0] > 5000 * 0.05  # >5% on one key of 10k
+
+    def test_scrambled_spreads_hot_keys(self):
+        g = ZipfianGenerator(10_000, seed=3)
+        seen = {g.next() for _ in range(2000)}
+        # The hottest scrambled key is not key 0.
+        assert 0 not in list(seen)[:1] or len(seen) > 10
+
+    def test_deterministic_with_seed(self):
+        a = [ZipfianGenerator(100, seed=7).next() for _ in range(10)]
+        b = [ZipfianGenerator(100, seed=7).next() for _ in range(10)]
+        assert a == b
+
+    def test_paper_scale_construction_is_fast(self):
+        g = ZipfianGenerator(1_000_000_000, seed=1)
+        assert 0 <= g.next() < 1_000_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_fnv_stays_64bit(self, v):
+        assert 0 <= fnv_hash(v) < (1 << 64)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=100_000),
+           st.integers(min_value=0, max_value=2**32))
+    def test_any_size_in_range(self, n, seed):
+        g = ZipfianGenerator(n, seed=seed)
+        for _ in range(20):
+            assert 0 <= g.next() < n
+
+
+class TestLatest:
+    def test_favours_recent(self):
+        g = LatestGenerator(10_000, seed=4)
+        counts_high = sum(1 for _ in range(2000)
+                          if g.next() > 10_000 - 100)
+        assert counts_high > 600  # newest 1% gets the bulk
+
+    def test_insert_advances(self):
+        g = LatestGenerator(10, seed=1)
+        new = g.record_insert()
+        assert new == 10
+        assert g.count == 11
+        for _ in range(50):
+            assert 0 <= g.next() < 11
+
+
+class TestWorkloads:
+    def test_unknown_letter(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload("Z", 100)
+
+    @pytest.mark.parametrize("letter", list(WORKLOAD_MIXES))
+    def test_mix_ratios_roughly_hold(self, letter):
+        wl = YCSBWorkload(letter, 100_000, seed=9)
+        kinds = {}
+        for op in wl.ops(3000):
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        for kind, frac in WORKLOAD_MIXES[letter].items():
+            share = kinds.get(kind, 0) / 3000
+            assert share == pytest.approx(frac, abs=0.05)
+
+    def test_scan_lengths_bounded(self):
+        wl = YCSBWorkload("E", 1000, seed=2, max_scan_len=50)
+        for op in wl.ops(500):
+            if op.kind == "scan":
+                assert 1 <= op.scan_len <= 50
+
+    def test_inserts_grow_keyspace(self):
+        wl = YCSBWorkload("D", 1000, seed=3)
+        inserted_keys = [op.key for op in wl.ops(2000)
+                         if op.kind == "insert"]
+        assert inserted_keys
+        assert inserted_keys == sorted(inserted_keys)
+        assert inserted_keys[0] == 1000
+
+    def test_keys_in_range(self):
+        wl = YCSBWorkload("A", 500, seed=5)
+        for op in wl.ops(1000):
+            if op.kind != "insert":
+                assert 0 <= op.key < wl._latest.count

@@ -1,0 +1,222 @@
+"""Cross-engine behaviour: every engine implements the same file API
+and their latencies land in the paper's order."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.baselines.registry import ENGINE_NAMES, chained_read, make_engine
+
+
+def fresh_machine(capture=True):
+    return Machine(capacity_bytes=2 * GiB, memory_bytes=256 << 20,
+                   capture_data=capture)
+
+
+def read_latency(engine_name, nbytes=4096):
+    m = fresh_machine(capture=False)
+    proc = m.spawn_process()
+    engine = make_engine(m, proc, engine_name)
+    t = proc.new_thread()
+
+    def body():
+        if engine_name == "spdk":
+            f = engine.create_file("/f", 1 << 20)
+            f._size = 1 << 20
+        else:
+            from repro.apps.workload_utils import materialize_file
+            yield from materialize_file(m, proc, engine, "/f", 1 << 20)
+            f = yield from engine.open(t, "/f")
+        # Warm up once, then measure.
+        yield from f.pread(t, 0, nbytes)
+        t0 = m.now
+        for i in range(16):
+            yield from f.pread(t, (i * nbytes) % (1 << 20), nbytes)
+        return (m.now - t0) / 16
+
+    return m.run_process(body())
+
+
+class TestLatencyLadder:
+    def test_figure6_ordering(self):
+        """spdk < bypassd < io_uring < sync <= libaio."""
+        lat = {name: read_latency(name)
+               for name in ("sync", "libaio", "io_uring", "spdk",
+                            "bypassd")}
+        assert lat["spdk"] < lat["bypassd"] < lat["io_uring"] \
+            < lat["sync"] <= lat["libaio"]
+
+    def test_sync_matches_table1(self):
+        assert read_latency("sync") == pytest.approx(7843, abs=25)
+
+    def test_bypassd_42pct_headline(self):
+        """Paper: ~42% latency reduction for 4 KB reads; the model
+        lands within the 30-45% band."""
+        sync = read_latency("sync")
+        byp = read_latency("bypassd")
+        reduction = 1 - byp / sync
+        assert 0.30 < reduction < 0.45
+
+    def test_bypassd_within_800ns_of_spdk(self):
+        assert read_latency("bypassd") - read_latency("spdk") < 800
+
+
+class TestDataIntegrityAcrossEngines:
+    @pytest.mark.parametrize("engine_name",
+                             ["sync", "libaio", "io_uring", "bypassd",
+                              "bypassd-optappend"])
+    def test_write_read_roundtrip(self, engine_name):
+        m = fresh_machine()
+        proc = m.spawn_process()
+        engine = make_engine(m, proc, engine_name)
+        t = proc.new_thread()
+        blob = bytes(range(256)) * 16
+
+        def body():
+            f = yield from engine.open(t, "/f", write=True, create=True)
+            yield from f.append(t, 4096, blob)
+            n, data = yield from f.pread(t, 0, 4096)
+            yield from f.fsync(t)
+            yield from f.close(t)
+            return n, data
+
+        n, data = m.run_process(body())
+        assert n == 4096
+        assert data == blob
+
+    def test_spdk_roundtrip(self):
+        m = fresh_machine()
+        proc = m.spawn_process()
+        engine = make_engine(m, proc, "spdk")
+        t = proc.new_thread()
+        blob = b"spdk-data" * 455 + b"!"
+
+        def body():
+            f = engine.create_file("/f", 1 << 20)
+            yield from f.pwrite(t, 0, 4096, blob)
+            n, data = yield from f.pread(t, 0, 4096)
+            return data
+
+        assert m.run_process(body()) == blob
+
+
+class TestRegistry:
+    def test_unknown_engine(self):
+        m = fresh_machine()
+        proc = m.spawn_process()
+        with pytest.raises(ValueError):
+            make_engine(m, proc, "nvme-over-carrier-pigeon")
+
+    def test_all_names_construct(self):
+        for name in ENGINE_NAMES:
+            m = fresh_machine()
+            proc = m.spawn_process()
+            engine = make_engine(m, proc, name)
+            assert engine.name == name
+
+
+class TestXRP:
+    def test_chained_read_latency_beats_sync(self):
+        def chain_latency(engine_name, hops=7):
+            m = fresh_machine(capture=False)
+            proc = m.spawn_process()
+            engine = make_engine(m, proc, engine_name)
+            t = proc.new_thread()
+
+            def body():
+                from repro.apps.workload_utils import materialize_file
+                yield from materialize_file(m, proc, engine, "/f",
+                                            1 << 20)
+                f = yield from engine.open(t, "/f")
+                offsets = [i * 4096 for i in range(hops)]
+                t0 = m.now
+                yield from chained_read(f, t, offsets, 512)
+                return m.now - t0
+
+            return m.run_process(body())
+
+        sync = chain_latency("sync")
+        xrp = chain_latency("xrp")
+        byp = chain_latency("bypassd")
+        # Figure 15 ordering: sync > xrp > bypassd.
+        assert sync > xrp > byp
+
+    def test_xrp_single_read_is_plain_kernel_read(self):
+        m = fresh_machine()
+        proc = m.spawn_process()
+        engine = make_engine(m, proc, "xrp")
+        t = proc.new_thread()
+        blob = b"x" * 512
+
+        def body():
+            f = yield from engine.open(t, "/f", write=True, create=True)
+            yield from f.append(t, 512, blob)
+            n, data = yield from f.pread(t, 0, 512)
+            return data
+
+        assert m.run_process(body()) == blob
+
+    def test_xrp_chained_data_returned(self):
+        m = fresh_machine()
+        proc = m.spawn_process()
+        engine = make_engine(m, proc, "xrp")
+        t = proc.new_thread()
+
+        def body():
+            f = yield from engine.open(t, "/f", write=True, create=True)
+            for i in range(4):
+                yield from f.append(t, 512, bytes([i]) * 512)
+            n, data = yield from f.chained_read(
+                t, [0, 512, 1024, 1536], 512)
+            return n, data
+
+        n, data = m.run_process(body())
+        assert n == 512
+        assert data == bytes([3]) * 512
+
+
+class TestIOUring:
+    def test_poller_occupies_core(self):
+        m = fresh_machine(capture=False)
+        proc = m.spawn_process()
+        engine = make_engine(m, proc, "io_uring")
+        t = proc.new_thread()
+
+        def body():
+            from repro.apps.workload_utils import materialize_file
+            yield from materialize_file(m, proc, engine, "/f", 1 << 20)
+            f = yield from engine.open(t, "/f")
+            yield from f.pread(t, 0, 4096)
+            return engine.poller_count
+
+        assert m.run_process(body()) == 1
+        # The poller thread is still burning its core.
+        assert m.cpus.in_use >= 1
+
+
+class TestLibaioBatching:
+    def test_deep_queue_batches(self):
+        from repro.baselines.libaio import AIOContext, AioOp
+        from repro.nvme.spec import Opcode
+
+        m = fresh_machine(capture=False)
+        proc = m.spawn_process()
+        engine = make_engine(m, proc, "libaio")
+        t = proc.new_thread()
+
+        def body():
+            from repro.apps.workload_utils import materialize_file
+            yield from materialize_file(m, proc, engine, "/f", 1 << 20)
+            f = yield from engine.open(t, "/f")
+            ctx = AIOContext(m.sim, m.kernel, proc)
+            ops = [AioOp(f, Opcode.READ, i * 4096, 4096)
+                   for i in range(32)]
+            t0 = m.now
+            yield from ctx.submit(t, ops)
+            completions = yield from ctx.get_events(t, 32)
+            elapsed = m.now - t0
+            return len(completions), elapsed
+
+        count, elapsed = m.run_process(body())
+        assert count == 32
+        # Far faster than 32 serial reads (32 * ~8 us = 256 us).
+        assert elapsed < 150_000

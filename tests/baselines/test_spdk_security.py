@@ -1,0 +1,92 @@
+"""SPDK's capability and its protection gap, demonstrated.
+
+The paper's motivation (Section 2): with SPDK-style userspace drivers
+"userspace code gets access to all blocks on the device.  Hence, a
+malicious process can read or corrupt the entire disk."
+"""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.baselines.spdk import SPDKEngine
+from repro.kernel.process import O_CREAT, O_DIRECT, O_RDWR
+from repro.nvme.spec import Opcode
+
+
+def test_spdk_process_can_read_any_block():
+    """An SPDK owner reads other users' ex-data straight off the LBAs —
+    the exact hazard BypassD's IOMMU checks remove."""
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    # A previous tenant's secret is on the media (e.g. from before the
+    # device was handed to the SPDK app).
+    root = m.spawn_process(uid=0)
+    t0 = root.new_thread()
+
+    def plant():
+        fd = yield from m.kernel.sys_open(root, t0, "/secret",
+                                          O_RDWR | O_CREAT | O_DIRECT,
+                                          mode=0o600)
+        yield from m.kernel.sys_pwrite(root, t0, fd, 0, 4096,
+                                       b"CLASSIFIED" * 409 + b"......")
+        yield from m.kernel.sys_close(root, t0, fd)
+        return m.fs.lookup("/secret").extents.physical_runs()[0][0]
+
+    phys_block = m.run_process(plant())
+    # Release kernel queues so SPDK can claim the device.
+    for qp in list(m.device._queues.values()):
+        m.device.delete_queue_pair(qp)
+    m.volume._qp = None
+    m.blockio._queues.clear()
+
+    attacker = m.spawn_process(uid=6666)
+    engine = SPDKEngine(m.sim, m.device, attacker)
+    t = attacker.new_thread()
+
+    def attack():
+        completion = yield from engine.raw_io(
+            t, Opcode.READ, phys_block * 8, 4096)
+        return completion.data
+
+    data = m.run_process(attack())
+    assert data.startswith(b"CLASSIFIED")  # no permission check at all
+
+
+def test_spdk_engine_files_isolated_within_namespace():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    proc = m.spawn_process()
+    engine = SPDKEngine(m.sim, m.device, proc)
+    a = engine.create_file("/a", 1 << 20)
+    b = engine.create_file("/b", 1 << 20)
+    assert a.first_page != b.first_page
+    with pytest.raises(FileExistsError):
+        engine.create_file("/a", 4096)
+
+
+def test_spdk_detach_releases_device():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    proc = m.spawn_process()
+    engine = SPDKEngine(m.sim, m.device, proc)
+    t = proc.new_thread()
+
+    def one_io():
+        f = engine.create_file("/x", 1 << 20)
+        yield from f.pwrite(t, 0, 4096, b"s" * 4096)
+
+    m.run_process(one_io())
+    engine.detach()
+    assert m.device.exclusive_owner is None
+    # The kernel can use the device again.
+    m.device.create_queue_pair(pasid=0)
+
+
+def test_spdk_open_missing_file():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    proc = m.spawn_process()
+    engine = SPDKEngine(m.sim, m.device, proc)
+    t = proc.new_thread()
+
+    def body():
+        yield from engine.open(t, "/nope")
+
+    with pytest.raises(FileNotFoundError):
+        m.run_process(body())

@@ -1,0 +1,23 @@
+"""Shared fixtures: small machines that keep unit tests fast."""
+
+import pytest
+
+from repro import GiB, Machine
+
+
+@pytest.fixture
+def machine():
+    """Data-capturing machine with a small disk."""
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+
+@pytest.fixture
+def timing_machine():
+    """Timing-only machine (payloads are not stored)."""
+    return Machine(capacity_bytes=2 * GiB, memory_bytes=256 << 20,
+                   capture_data=False)
+
+
+def run(machine, gen):
+    """Drive a workload generator to completion on ``machine``."""
+    return machine.run_process(gen)

@@ -1,0 +1,104 @@
+"""BypassDFile's POSIX-surface behaviours: sequential ops, offsets."""
+
+import pytest
+
+from repro import GiB, Machine
+
+
+@pytest.fixture
+def m():
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+
+def open_file(m, path="/seq", write=True):
+    proc = m.spawn_process()
+    lib = m.userlib(proc)
+    t = proc.new_thread()
+
+    def body():
+        f = yield from lib.open(t, path, write=write, create=write)
+        return f
+
+    return lib, t, m.run_process(body())
+
+
+def test_sequential_read_tracks_offset(m):
+    lib, t, f = open_file(m)
+
+    def body():
+        yield from f.append(t, 1024, bytes(range(4)) * 256)
+        n1, d1 = yield from f.read(t, 512)
+        n2, d2 = yield from f.read(t, 512)
+        n3, d3 = yield from f.read(t, 512)  # past EOF
+        return (n1, d1), (n2, d2), n3
+
+    (n1, d1), (n2, d2), n3 = m.run_process(body())
+    assert n1 == n2 == 512
+    assert d1 == (bytes(range(4)) * 256)[:512]
+    assert d2 == (bytes(range(4)) * 256)[512:]
+    assert n3 == 0
+
+
+def test_sequential_write_tracks_offset(m):
+    lib, t, f = open_file(m)
+
+    def body():
+        yield from f.write(t, 512, b"1" * 512)
+        yield from f.write(t, 512, b"2" * 512)
+        n, data = yield from f.pread(t, 0, 1024)
+        return data
+
+    assert m.run_process(body()) == b"1" * 512 + b"2" * 512
+
+
+def test_append_returns_old_offset(m):
+    lib, t, f = open_file(m)
+
+    def body():
+        off1 = yield from f.append(t, 100, b"a" * 100)
+        off2 = yield from f.append(t, 100, b"b" * 100)
+        return off1, off2, f.size
+
+    assert m.run_process(body()) == (0, 100, 200)
+
+
+def test_size_property_follows_inode(m):
+    lib, t, f = open_file(m)
+    proc = lib.proc
+
+    def body():
+        yield from f.append(t, 4096)
+        # Another actor grows the file through the kernel.
+        yield from m.kernel.sys_fallocate(proc, t, f.state.fd, 0, 8192)
+        return f.size
+
+    assert m.run_process(body()) == 8192
+
+
+def test_interleaved_handles_same_process(m):
+    """Two opens of one file in one process share the mapping but keep
+    independent offsets."""
+    lib, t, f1 = open_file(m, path="/dup")
+
+    def body():
+        yield from f1.append(t, 2048, b"z" * 2048)
+        f2 = yield from lib.open(t, "/dup", write=False)
+        assert f2.state.vba == f1.state.vba
+        n, _ = yield from f1.read(t, 100)
+        n2, _ = yield from f2.read(t, 2048)
+        return f1.state.offset, f2.state.offset
+
+    off1, off2 = m.run_process(body())
+    assert (off1, off2) == (100, 2048)
+
+
+def test_zero_byte_operations(m):
+    lib, t, f = open_file(m)
+
+    def body():
+        yield from f.append(t, 512, b"x" * 512)
+        n, data = yield from f.pread(t, 0, 0)
+        return n, data
+
+    n, data = m.run_process(body())
+    assert n == 0

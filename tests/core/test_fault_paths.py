@@ -1,0 +1,125 @@
+"""UserLib fault handling beyond plain revocation: truncate races,
+growth re-attachment, re-fmap after transient faults."""
+
+import pytest
+
+from repro import GiB, Machine
+
+
+@pytest.fixture
+def m():
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+
+def setup(m, size=1 << 20):
+    proc = m.spawn_process()
+    lib = m.userlib(proc)
+    t = proc.new_thread()
+
+    def body():
+        f = yield from lib.open(t, "/x", write=True, create=True)
+        if size:
+            yield from m.kernel.sys_fallocate(proc, t, f.state.fd, 0,
+                                              size)
+        return f
+
+    return proc, lib, t, m.run_process(body())
+
+
+def test_read_of_truncated_region_clamped(m):
+    """After ftruncate, UserLib's size bookkeeping (plus the detached
+    FTEs behind it) keeps reads inside the new size."""
+    proc, lib, t, f = setup(m)
+
+    def body():
+        yield from m.kernel.sys_ftruncate(proc, t, f.state.fd, 4096)
+        f.state.size = 4096  # UserLib learns via the same process
+        n, _ = yield from f.pread(t, 0, 65536)
+        return n
+
+    assert m.run_process(body()) == 4096
+    assert f.using_direct_path
+
+
+def test_stale_read_beyond_truncation_faults_to_fallback(m):
+    """A racy UserLib that did NOT update its size gets a translation
+    fault from the IOMMU — never stale data."""
+    proc, lib, t, f = setup(m)
+
+    def body():
+        yield from m.kernel.sys_ftruncate(proc, t, f.state.fd, 4096)
+        # Lie about the size to force a read of detached FTEs.
+        f.state.size = 1 << 20
+        n, data = yield from f.pread(t, 512 * 1024, 4096)
+        return n, data
+
+    n, data = m.run_process(body())
+    # The fault was handled; the kernel served the (clamped) truth.
+    assert lib.faults_handled >= 1
+    assert n == 0
+
+
+def test_refmap_after_growth_revocation(m):
+    """When a file outgrows its VA region the kernel re-homes it; the
+    very next I/O transparently re-fmaps into a larger region."""
+    proc, lib, t, f = setup(m, size=4096)
+    headroom_bytes = (1 + 8) * (2 << 20)  # initial leaf + headroom
+
+    def body():
+        old_vba = f.state.vba
+        # Grow far beyond the reserved region.
+        yield from m.kernel.sys_fallocate(proc, t, f.state.fd, 0,
+                                          headroom_bytes + (8 << 20))
+        n, _ = yield from f.pread(t, headroom_bytes + (4 << 20), 4096)
+        return old_vba, f.state.vba, n
+
+    old_vba, new_vba, n = m.run_process(body())
+    assert n == 4096
+    assert new_vba != old_vba        # re-homed into a larger region
+    assert f.using_direct_path       # still direct, no fallback
+    assert lib.kernel_fallbacks == 0
+
+
+def test_fault_counter_and_single_refmap(m):
+    proc, lib, t, f = setup(m)
+    other = m.spawn_process()
+    t2 = other.new_thread()
+
+    def open_close_kernel():
+        from repro.kernel.process import O_RDWR
+        fd = yield from m.kernel.sys_open(other, t2, "/x", O_RDWR)
+        yield from m.kernel.sys_close(other, t2, fd)
+
+    m.run_process(open_close_kernel())  # revokes, then quiesces
+
+    def body():
+        n, _ = yield from f.pread(t, 0, 4096)
+        return n
+
+    assert m.run_process(body()) == 4096
+    # One fault, one re-fmap; since the inode quiesced the re-fmap
+    # SUCCEEDS and the file stays on the direct path.
+    assert lib.faults_handled == 1
+    assert f.using_direct_path
+    assert lib.kernel_fallbacks == 0
+
+
+def test_partial_write_during_fallback_goes_kernel(m):
+    proc, lib, t, f = setup(m)
+    other = m.spawn_process()
+    t2 = other.new_thread()
+
+    def kernel_open():
+        from repro.kernel.process import O_RDWR
+        yield from m.kernel.sys_open(other, t2, "/x", O_RDWR)
+
+    m.run_process(kernel_open())  # revoke, opener stays
+
+    def body():
+        yield from f.pwrite(t, 100, 10, b"0123456789")
+        n, data = yield from f.pread(t, 96, 20)
+        return data
+
+    data = m.run_process(body())
+    assert data[4:14] == b"0123456789"
+    assert not f.using_direct_path

@@ -1,0 +1,190 @@
+"""Unit + property tests for file tables (FTE subtrees)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filetable import PAGES_PER_LEAF, FileTable, build_file_table
+from repro.hw.pagetable import fte_devid, fte_lba, pte_present, pte_writable
+from repro.hw.params import DEFAULT_PARAMS
+
+
+def entries(table):
+    """All present (page-index, device-page) pairs."""
+    out = []
+    for leaf_idx, leaf in enumerate(table.leaves):
+        if leaf is None:
+            continue
+        for slot, entry in leaf.iter_present():
+            out.append((leaf_idx * PAGES_PER_LEAF + slot,
+                        fte_lba(entry)))
+    return out
+
+
+class TestBuild:
+    def test_single_run(self):
+        t = build_file_table([(0, 1000, 10)], devid=1,
+                             params=DEFAULT_PARAMS)
+        assert t.pages == 10
+        assert len(t.leaves) == 1
+        assert entries(t) == [(i, 1000 + i) for i in range(10)]
+
+    def test_multiple_runs(self):
+        t = build_file_table([(0, 100, 3), (3, 900, 2)], devid=1,
+                             params=DEFAULT_PARAMS)
+        assert entries(t) == [(0, 100), (1, 101), (2, 102),
+                              (3, 900), (4, 901)]
+
+    def test_sparse_file_with_hole(self):
+        """Extents need not start at page 0 (hole at the front)."""
+        t = build_file_table([(4, 700, 2)], devid=1,
+                             params=DEFAULT_PARAMS)
+        assert t.pages == 6
+        assert not t.has_entry(0)
+        assert not t.has_entry(3)
+        assert t.has_entry(4)
+        assert entries(t) == [(4, 700), (5, 701)]
+
+    def test_spans_leaves(self):
+        t = build_file_table([(0, 0, PAGES_PER_LEAF + 5)], devid=1,
+                             params=DEFAULT_PARAMS)
+        assert len(t.leaves) == 2
+        assert t.pages == PAGES_PER_LEAF + 5
+
+    def test_hole_spanning_whole_leaf_leaves_it_unallocated(self):
+        t = build_file_table(
+            [(0, 10, 1), (2 * PAGES_PER_LEAF, 900, 1)], devid=1,
+            params=DEFAULT_PARAMS)
+        assert t.leaves[1] is None  # entirely a hole: no memory spent
+        assert t.memory_bytes() == 2 * 4096
+
+    def test_devid_stamped(self):
+        t = build_file_table([(0, 7, 1)], devid=5, params=DEFAULT_PARAMS)
+        assert fte_devid(t.leaves[0].entries[0]) == 5
+
+    def test_entries_max_permission(self):
+        """Shared FTEs carry R/W; the private attach point narrows."""
+        t = build_file_table([(0, 7, 1)], devid=1, params=DEFAULT_PARAMS)
+        assert pte_writable(t.leaves[0].entries[0])
+
+    def test_build_cost_linear(self):
+        small = build_file_table([(0, 0, 16)], 1, DEFAULT_PARAMS)
+        large = build_file_table([(0, 0, 1600)], 1, DEFAULT_PARAMS)
+        assert large.build_cost_ns == 100 * small.build_cost_ns
+
+
+class TestSetRange:
+    def test_tail_growth_in_place(self):
+        t = build_file_table([(0, 0, 10)], 1, DEFAULT_PARAMS)
+        new_leaves, _ = t.set_range(10, 500, 5, DEFAULT_PARAMS)
+        assert new_leaves == []
+        assert t.pages == 15
+        assert entries(t)[-1] == (14, 504)
+
+    def test_growth_allocates_leaf_on_overflow(self):
+        t = build_file_table([(0, 0, PAGES_PER_LEAF - 2)], 1,
+                             DEFAULT_PARAMS)
+        new_leaves, _ = t.set_range(PAGES_PER_LEAF - 2, 900, 5,
+                                    DEFAULT_PARAMS)
+        assert new_leaves == [1]
+        assert len(t.leaves) == 2
+
+    def test_hole_fill_in_place(self):
+        """Filling a hole inside an existing leaf needs no attach."""
+        t = build_file_table([(0, 10, 1), (4, 20, 1)], 1,
+                             DEFAULT_PARAMS)
+        new_leaves, _ = t.set_range(2, 777, 1, DEFAULT_PARAMS)
+        assert new_leaves == []
+        assert t.has_entry(2)
+        assert dict(entries(t))[2] == 777
+
+    def test_empty_table_growth(self):
+        t = FileTable(devid=1)
+        new_leaves, _ = t.set_range(0, 10, 3, DEFAULT_PARAMS)
+        assert new_leaves == [0]
+        assert t.pages == 3
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            FileTable(devid=1).set_range(0, 0, 0, DEFAULT_PARAMS)
+
+    def test_overwrite_remap_updates_entry(self):
+        t = build_file_table([(0, 10, 1)], 1, DEFAULT_PARAMS)
+        t.set_range(0, 99, 1, DEFAULT_PARAMS)
+        assert dict(entries(t))[0] == 99
+
+
+class TestTruncate:
+    def test_truncate_clears_entries(self):
+        t = build_file_table([(0, 0, 10)], 1, DEFAULT_PARAMS)
+        dead = t.truncate_pages(4)
+        assert dead == []
+        assert t.pages == 4
+        assert not t.has_entry(4)
+        assert t.has_entry(3)
+
+    def test_truncate_drops_leaves(self):
+        t = build_file_table([(0, 0, 2 * PAGES_PER_LEAF)], 1,
+                             DEFAULT_PARAMS)
+        dead = t.truncate_pages(10)
+        assert dead == [1]
+        assert len(t.leaves) == 1
+
+    def test_truncate_to_zero(self):
+        t = build_file_table([(0, 0, 5)], 1, DEFAULT_PARAMS)
+        dead = t.truncate_pages(0)
+        assert dead == [0]
+        assert t.pages == 0
+        assert t.leaves == []
+
+    def test_truncate_noop_beyond_size(self):
+        t = build_file_table([(0, 0, 5)], 1, DEFAULT_PARAMS)
+        assert t.truncate_pages(10) == []
+        assert t.pages == 5
+
+    def test_truncate_skips_hole_leaves(self):
+        t = build_file_table(
+            [(0, 10, 1), (2 * PAGES_PER_LEAF, 900, 1)], devid=1,
+            params=DEFAULT_PARAMS)
+        dead = t.truncate_pages(1)
+        assert dead == [2]  # the hole leaf (index 1) was never real
+
+    def test_negative_rejected(self):
+        t = FileTable(devid=1)
+        with pytest.raises(ValueError):
+            t.truncate_pages(-1)
+
+
+class TestDensityInvariant:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["extend", "truncate"]),
+                              st.integers(1, 700)), max_size=20))
+    def test_grow_shrink_keeps_density(self, ops):
+        """Property: tail-only grow/shrink keeps entries dense in
+        [0, pages) — the paper's common-case growth pattern."""
+        t = FileTable(devid=1)
+        phys = 0
+        for op, n in ops:
+            if op == "extend":
+                t.set_range(t.pages, phys, n, DEFAULT_PARAMS)
+                phys += n
+            else:
+                t.truncate_pages(max(0, t.pages - n))
+            t.check_dense()
+            assert t.entry_count() == t.pages
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1200), st.integers(1, 64)),
+                    max_size=16))
+    def test_sparse_writes_match_dict_model(self, ranges):
+        """Property: arbitrary-order range installs behave like a dict
+        of page -> device page."""
+        t = FileTable(devid=1)
+        model = {}
+        phys = 1
+        for logical, count in ranges:
+            t.set_range(logical, phys, count, DEFAULT_PARAMS)
+            for i in range(count):
+                model[logical + i] = phys + i
+            phys += count + 3
+        assert dict(entries(t)) == model
+        assert t.entry_count() == len(model)

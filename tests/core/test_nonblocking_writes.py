@@ -1,0 +1,163 @@
+"""Non-blocking writes (paper Section 5.1 enhancement).
+
+Overwrites return once submitted; reads order behind overlapping
+in-flight writes so they always see the latest data; fsync drains.
+"""
+
+import pytest
+
+from repro import GiB, Machine
+
+
+@pytest.fixture
+def m():
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+
+def setup(m, nonblocking=True, size=1 << 20):
+    proc = m.spawn_process()
+    lib = m.userlib(proc, nonblocking_writes=nonblocking)
+    t = proc.new_thread()
+
+    def body():
+        f = yield from lib.open(t, "/nb", write=True, create=True)
+        yield from m.kernel.sys_fallocate(proc, t, f.state.fd, 0, size)
+        return f
+
+    return lib, t, m.run_process(body())
+
+
+def test_async_write_returns_before_device_finishes(m):
+    lib, t, f = setup(m)
+
+    def body():
+        t0 = m.now
+        yield from f.pwrite(t, 0, 4096, b"n" * 4096)
+        return m.now - t0
+
+    elapsed = m.run_process(body())
+    # Submission cost only: far below the ~4us device write.
+    assert elapsed < 1000
+
+
+def test_blocking_write_waits(m):
+    lib, t, f = setup(m, nonblocking=False)
+
+    def body():
+        t0 = m.now
+        yield from f.pwrite(t, 0, 4096, b"n" * 4096)
+        return m.now - t0
+
+    assert m.run_process(body()) > 3500
+
+
+def test_read_after_async_write_sees_data(m):
+    lib, t, f = setup(m)
+
+    def body():
+        yield from f.pwrite(t, 0, 4096, b"Q" * 4096)
+        n, data = yield from f.pread(t, 0, 4096)
+        return data
+
+    assert m.run_process(body()) == b"Q" * 4096
+
+
+def test_read_of_disjoint_range_not_delayed(m):
+    lib, t, f = setup(m)
+
+    def body():
+        yield from f.pwrite(t, 0, 4096, b"a" * 4096)
+        t0 = m.now
+        n, _ = yield from f.pread(t, 512 * 1024, 4096)
+        return m.now - t0
+
+    elapsed = m.run_process(body())
+    # One read's worth of latency, not read + pending write.
+    assert elapsed < 6000
+
+
+def test_fsync_drains_pending(m):
+    lib, t, f = setup(m)
+
+    def body():
+        for i in range(8):
+            yield from f.pwrite(t, i * 4096, 4096, bytes([i]) * 4096)
+        assert f.state.pending_writes  # still in flight
+        yield from f.fsync(t)
+        assert not f.state.pending_writes
+        n, data = yield from f.pread(t, 7 * 4096, 4096)
+        return data
+
+    assert m.run_process(body()) == bytes([7]) * 4096
+
+
+def test_close_drains_pending(m):
+    lib, t, f = setup(m)
+
+    def body():
+        yield from f.pwrite(t, 0, 4096, b"z" * 4096)
+        yield from f.close(t)
+
+    m.run_process(body())
+    inode = m.fs.lookup("/nb")
+    phys = inode.extents.physical_runs()[0][0]
+    assert m.device.backend.read_blocks(phys * 8, 8) == b"z" * 4096
+
+
+def test_overlapping_async_writes_ordered(m):
+    lib, t, f = setup(m)
+
+    def body():
+        yield from f.pwrite(t, 0, 4096, b"1" * 4096)
+        yield from f.pwrite(t, 0, 4096, b"2" * 4096)  # waits for #1
+        yield from f.fsync(t)
+        n, data = yield from f.pread(t, 0, 4096)
+        return data
+
+    assert m.run_process(body()) == b"2" * 4096
+
+
+def test_async_write_throughput_beats_sync_writes(m):
+    def throughput(nonblocking):
+        mach = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                       capture_data=False)
+        lib, t, f = setup(mach, nonblocking=nonblocking)
+
+        def body():
+            t0 = mach.now
+            for i in range(64):
+                yield from f.pwrite(t, (i * 4096) % (1 << 20), 4096)
+            yield from f.fsync(t)
+            return 64 * 4096 * 1e9 / (mach.now - t0)
+
+        return mach.run_process(body())
+
+    # Pipelined writes use the device's internal parallelism.
+    assert throughput(True) > 2 * throughput(False)
+
+
+def test_no_errors_on_clean_run(m):
+    lib, t, f = setup(m)
+
+    def body():
+        for i in range(16):
+            yield from f.pwrite(t, i * 4096, 4096)
+        yield from f.fsync(t)
+
+    m.run_process(body())
+    assert lib.async_write_errors == 0
+
+
+def test_async_backpressure_survives_queue_depth(m):
+    """More in-flight writes than the queue depth: UserLib must apply
+    backpressure instead of overflowing the SQ."""
+    lib, t, f = setup(m, size=8 << 20)
+
+    def body():
+        for i in range(1500):  # > queue depth (1024)
+            yield from f.pwrite(t, (i * 4096) % (8 << 20), 4096)
+        yield from f.fsync(t)
+
+    m.run_process(body())
+    assert lib.async_write_errors == 0
+    assert not f.state.pending_writes

@@ -1,0 +1,200 @@
+"""Revocation: the Section 3.6 / 4.5.2 state machine, end to end."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.kernel.process import O_CREAT, O_DIRECT, O_RDWR
+
+
+@pytest.fixture
+def m():
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+
+def setup_direct_file(m, path="/shared", size=1 << 20):
+    proc = m.spawn_process("direct")
+    lib = m.userlib(proc)
+    t = proc.new_thread()
+
+    def body():
+        f = yield from lib.open(t, path, write=True, create=True)
+        yield from m.kernel.sys_fallocate(proc, t, f.state.fd, 0, size)
+        return f
+
+    f = m.run_process(body())
+    return proc, lib, t, f
+
+
+def test_kernel_open_revokes_direct_access(m):
+    proc, lib, t, f = setup_direct_file(m)
+    vba = f.state.vba
+    assert proc.aspace.page_table.walk(vba).present
+
+    other = m.spawn_process("kernel-user")
+    t2 = other.new_thread()
+
+    def kernel_open():
+        yield from m.kernel.sys_open(other, t2, "/shared",
+                                     O_RDWR | O_DIRECT)
+
+    m.run_process(kernel_open())
+    # FTEs are gone from the first process's page table.
+    assert not proc.aspace.page_table.walk(vba).present
+    assert m.bypassd.revocations == 1
+    assert m.fs.lookup("/shared").bypass_revoked
+
+
+def test_revoked_io_falls_back_to_kernel(m):
+    """The five-step fallback dance: fault -> re-fmap -> VBA 0 ->
+    kernel interface."""
+    proc, lib, t, f = setup_direct_file(m)
+    other = m.spawn_process()
+    t2 = other.new_thread()
+
+    def kernel_open():
+        yield from m.kernel.sys_open(other, t2, "/shared",
+                                     O_RDWR | O_DIRECT)
+
+    m.run_process(kernel_open())
+
+    def read_after_revoke():
+        n, data = yield from f.pread(t, 0, 4096)
+        return n
+
+    n = m.run_process(read_after_revoke())
+    assert n == 4096                 # I/O still succeeds...
+    assert not f.using_direct_path   # ...through the kernel
+    assert lib.faults_handled == 1
+    assert lib.kernel_fallbacks == 1
+
+
+def test_data_correct_across_revocation(m):
+    proc, lib, t, f = setup_direct_file(m)
+    payload = b"R" * 4096
+
+    def write_direct():
+        yield from f.pwrite(t, 0, 4096, payload)
+
+    m.run_process(write_direct())
+
+    other = m.spawn_process()
+    t2 = other.new_thread()
+
+    def kernel_open():
+        yield from m.kernel.sys_open(other, t2, "/shared",
+                                     O_RDWR | O_DIRECT)
+
+    m.run_process(kernel_open())
+
+    def read_back():
+        n, data = yield from f.pread(t, 0, 4096)
+        return data
+
+    assert m.run_process(read_back()) == payload
+
+
+def test_fallback_latency_is_kernel_latency(m):
+    mach = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                   capture_data=False)
+    proc, lib, t, f = setup_direct_file(mach)
+
+    def timed_read():
+        t0 = mach.now
+        yield from f.pread(t, 0, 4096)
+        return mach.now - t0
+
+    direct_lat = mach.run_process(timed_read())
+    other = mach.spawn_process()
+    t2 = other.new_thread()
+
+    def kernel_open():
+        yield from mach.kernel.sys_open(other, t2, "/shared",
+                                        O_RDWR | O_DIRECT)
+
+    mach.run_process(kernel_open())
+    mach.run_process(timed_read())      # fault + fallback read
+    fallback_lat = mach.run_process(timed_read())
+    assert direct_lat < 6000
+    assert fallback_lat > 7500          # full kernel stack now
+
+
+def test_direct_access_resumes_after_quiesce(m):
+    proc, lib, t, f = setup_direct_file(m)
+    other = m.spawn_process()
+    t2 = other.new_thread()
+
+    def kernel_open_close():
+        fd = yield from m.kernel.sys_open(other, t2, "/shared",
+                                          O_RDWR | O_DIRECT)
+        yield from m.kernel.sys_close(other, t2, fd)
+
+    m.run_process(kernel_open_close())
+
+    def read_and_close():
+        yield from f.pread(t, 0, 512)   # falls back
+        yield from f.close(t)
+
+    m.run_process(read_and_close())
+
+    # Everything quiesced: a fresh open gets the direct path again.
+    proc2 = m.spawn_process()
+    lib2 = m.userlib(proc2)
+    t3 = proc2.new_thread()
+
+    def fresh_open():
+        f2 = yield from lib2.open(t3, "/shared", write=True)
+        return f2.using_direct_path
+
+    assert m.run_process(fresh_open()) is True
+
+
+def test_multi_process_metadata_writers_revoked(m):
+    proc, lib, t, f = setup_direct_file(m)
+    inode = m.fs.lookup("/shared")
+    m.bypassd.note_metadata_write(inode, pasid=proc.pasid)
+    assert not inode.bypass_revoked
+    m.bypassd.note_metadata_write(inode, pasid=proc.pasid + 1)
+    assert inode.bypass_revoked
+    assert m.bypassd.revocations == 1
+
+
+def test_unlink_revokes(m):
+    proc, lib, t, f = setup_direct_file(m)
+    vba = f.state.vba
+    root = m.spawn_process(uid=0)
+    t2 = root.new_thread()
+
+    def unlink():
+        yield from m.kernel.sys_unlink(root, t2, "/shared")
+
+    m.run_process(unlink())
+    assert not proc.aspace.page_table.walk(vba).present
+
+
+def test_deferred_block_reuse_guards_revocation_race(m):
+    """Section 3.6/5.3: blocks freed from a revoked file cannot be
+    reallocated to another file before a sync point."""
+    proc, lib, t, f = setup_direct_file(m, size=64 * 4096)
+
+    def shrink():
+        yield from m.kernel.sys_ftruncate(proc, t, f.state.fd, 0)
+
+    m.run_process(shrink())
+    assert m.fs.allocator.deferred_blocks == 64
+    # Another file cannot grab those blocks yet.
+    other = m.spawn_process()
+    t2 = other.new_thread()
+
+    def grow_other():
+        fd = yield from m.kernel.sys_open(other, t2, "/other",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_fallocate(other, t2, fd, 0, 4096)
+        return m.fs.lookup("/other").extents.physical_runs()
+
+    runs = m.run_process(grow_other())
+    freed_start = 0  # the deferred pool holds the old blocks
+    deferred = set()
+    for start, count in m.fs.allocator._deferred:
+        deferred.update(range(start, start + count))
+    got = {b for s, c in runs for b in range(s, s + c)}
+    assert not (got & deferred)

@@ -1,0 +1,296 @@
+"""Security tests: the Section 5.3 threat model.
+
+A malicious process (including a hostile UserLib) can craft arbitrary
+NVMe commands on its own queues; the trusted IOMMU + device must stop
+every access the kernel did not sanction.
+"""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.kernel.process import O_CREAT, O_DIRECT, O_RDWR
+from repro.nvme.spec import AddressKind, Command, Opcode, Status
+
+
+@pytest.fixture
+def m():
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+
+def make_victim_file(m, path="/victim", secret=b"S3CRET!!" * 64):
+    """Root creates a 0600 file holding a secret."""
+    root = m.spawn_process("root", uid=0)
+    t = root.new_thread()
+    payload = secret + bytes(4096 - len(secret))
+
+    def body():
+        fd = yield from m.kernel.sys_open(m_proc(root), t, path,
+                                          O_RDWR | O_CREAT | O_DIRECT,
+                                          mode=0o600)
+        yield from m.kernel.sys_pwrite(root, t, fd, 0, 4096, payload)
+        yield from m.kernel.sys_close(root, t, fd)
+        return m.fs.lookup(path).extents.physical_runs()
+
+    def m_proc(p):
+        return p
+
+    runs = m.run_process(body())
+    return runs, payload
+
+
+def raw_submit(m, proc, cmd):
+    """A malicious process submits a raw command on its own queue."""
+    qp = m.device.create_queue_pair(pasid=proc.pasid)
+
+    def body():
+        c = yield m.device.submit(qp, cmd)
+        return c
+
+    return m.run_process(body())
+
+
+def test_lba_access_from_user_queue_cannot_reach_data(m):
+    """A process must use VBAs; raw LBAs would bypass permission checks,
+    so a BypassD deployment only accepts VBA commands on user queues.
+    The model enforces the equivalent invariant: even a *valid* LBA
+    command on a user queue cannot target memory the process does not
+    own, and VBA commands are fully checked.  Here: reading the victim's
+    block via an invalid (unmapped) VBA fails."""
+    runs, _ = make_victim_file(m)
+    attacker = m.spawn_process("evil", uid=6666)
+    cmd = Command(Opcode.READ, addr=0x5000_0000_0000, nbytes=4096,
+                  addr_kind=AddressKind.VBA)
+    completion = raw_submit(m, attacker, cmd)
+    assert completion.status is Status.TRANSLATION_FAULT
+
+
+def test_guessed_vba_of_other_process_fails(m):
+    """VBAs are per-address-space: another process's VBA means nothing
+    in the attacker's page tables."""
+    runs, payload = make_victim_file(m, path="/v2")
+    # Victim fmaps the file (root process, direct interface).
+    root = m.spawn_process(uid=0)
+    lib = m.userlib(root)
+    t = root.new_thread()
+
+    def open_direct():
+        f = yield from lib.open(t, "/v2", write=True)
+        return f.state.vba
+
+    victim_vba = m.run_process(open_direct())
+    assert victim_vba != 0
+
+    attacker = m.spawn_process(uid=6666)
+    cmd = Command(Opcode.READ, addr=victim_vba, nbytes=4096,
+                  addr_kind=AddressKind.VBA)
+    completion = raw_submit(m, attacker, cmd)
+    assert completion.status is Status.TRANSLATION_FAULT
+
+
+def test_write_through_readonly_open_blocked_in_hardware(m):
+    """Even if UserLib is malicious and issues a write on a read-only
+    mapping, the IOMMU refuses the translation."""
+    # World-readable file owned by root.
+    root = m.spawn_process(uid=0)
+    t0 = root.new_thread()
+
+    def create():
+        fd = yield from m.kernel.sys_open(root, t0, "/public",
+                                          O_RDWR | O_CREAT | O_DIRECT,
+                                          mode=0o644)
+        yield from m.kernel.sys_fallocate(root, t0, fd, 0, 4096)
+        yield from m.kernel.sys_close(root, t0, fd)
+
+    m.run_process(create())
+
+    attacker = m.spawn_process(uid=6666)
+    lib = m.userlib(attacker)
+    t = attacker.new_thread()
+
+    def open_ro():
+        f = yield from lib.open(t, "/public", write=False)
+        return f.state.vba
+
+    vba = m.run_process(open_ro())
+    assert vba != 0
+    cmd = Command(Opcode.WRITE, addr=vba, nbytes=4096,
+                  addr_kind=AddressKind.VBA, data=b"H" * 4096)
+    completion = raw_submit(m, attacker, cmd)
+    assert completion.status is Status.TRANSLATION_FAULT
+    # Data unchanged on media.
+    phys = m.fs.lookup("/public").extents.physical_runs()[0][0]
+    assert m.device.backend.read_blocks(phys * 8, 8) == bytes(4096)
+
+
+def test_vba_invalid_after_close(m):
+    """Closing detaches FTEs: stale VBAs stop translating."""
+    attacker = m.spawn_process(uid=6666)
+    lib = m.userlib(attacker)
+    t = attacker.new_thread()
+
+    def open_close():
+        f = yield from lib.open(t, "/mine", write=True, create=True)
+        yield from f.append(t, 4096, b"m" * 4096)
+        vba = f.state.vba
+        yield from f.close(t)
+        return vba
+
+    vba = m.run_process(open_close())
+    cmd = Command(Opcode.READ, addr=vba, nbytes=4096,
+                  addr_kind=AddressKind.VBA)
+    completion = raw_submit(m, attacker, cmd)
+    assert completion.status is Status.TRANSLATION_FAULT
+
+
+def test_devid_prevents_cross_device_access():
+    """Section 3.4: DevID in the FTE stops a process from replaying a
+    VBA against a different device."""
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    from repro.nvme.device import NVMeDevice
+    second_dev = NVMeDevice(m.sim, m.params, m.iommu, devid=2,
+                            capacity_bytes=1 << 30)
+
+    proc = m.spawn_process()
+    lib = m.userlib(proc)
+    t = proc.new_thread()
+
+    def open_file():
+        f = yield from lib.open(t, "/f", write=True, create=True)
+        yield from f.append(t, 4096, b"d" * 4096)
+        return f.state.vba
+
+    vba = m.run_process(open_file())
+    qp = second_dev.create_queue_pair(pasid=proc.pasid)
+
+    def replay():
+        c = yield second_dev.submit(qp, Command(
+            Opcode.READ, addr=vba, nbytes=4096,
+            addr_kind=AddressKind.VBA))
+        return c
+
+    completion = m.run_process(replay())
+    assert completion.status is Status.TRANSLATION_FAULT
+    assert "DevID" in completion.fault_reason
+
+
+def test_freed_blocks_zeroed_before_reallocation(m):
+    """Confidentiality across users (Section 5.3): after user A's file
+    is deleted and its blocks land in user B's file, B reads zeros."""
+    alice = m.spawn_process(uid=1000)
+    lib_a = m.userlib(alice)
+    ta = alice.new_thread()
+
+    def alice_writes():
+        f = yield from lib_a.open(ta, "/alice", write=True, create=True)
+        yield from f.append(ta, 4096, b"ALICE-PRIVATE" * 300 + b"xxxx")
+        runs = m.fs.lookup("/alice").extents.physical_runs()
+        yield from f.close(ta)
+        return runs
+
+    runs = m.run_process(alice_writes())
+
+    root = m.spawn_process(uid=0)
+    tr = root.new_thread()
+
+    def delete_and_sync():
+        yield from m.kernel.sys_unlink(root, tr, "/alice")
+        fd = yield from m.kernel.sys_open(root, tr, "/tmpf",
+                                          O_RDWR | O_CREAT)
+        yield from m.kernel.sys_fsync(root, tr, fd)  # drain deferred
+
+    m.run_process(delete_and_sync())
+
+    bob = m.spawn_process(uid=2000)
+    lib_b = m.userlib(bob)
+    tb = bob.new_thread()
+
+    def bob_allocates():
+        f = yield from lib_b.open(tb, "/bob", write=True, create=True)
+        yield from m.kernel.sys_fallocate(bob, tb, f.state.fd, 0,
+                                          64 * 4096)
+        n, data = yield from f.pread(tb, 0, 64 * 4096)
+        return m.fs.lookup("/bob").extents.physical_runs(), data
+
+    bob_runs, data = m.run_process(bob_allocates())
+    # Bob actually received (some of) Alice's old blocks...
+    alice_blocks = {b for s, c in runs for b in range(s, s + c)}
+    bob_blocks = {b for s, c in bob_runs for b in range(s, s + c)}
+    assert alice_blocks & bob_blocks
+    # ...but reads only zeros.
+    assert data == bytes(64 * 4096)
+
+
+def test_partial_block_reuse_cannot_leak_stale_bytes(m):
+    """Regression (found by the model-equivalence property test): a
+    sub-block write into a freshly reallocated block must not let the
+    RMW resurrect the previous owner's bytes."""
+    proc = m.spawn_process(uid=1000)
+    lib = m.userlib(proc)
+    t = proc.new_thread()
+
+    def body():
+        # Victim data occupies a block, then is freed and drained.
+        f1 = yield from lib.open(t, "/old", write=True, create=True)
+        yield from f1.append(t, 4096, b"S" * 4096)
+        yield from f1.close(t)
+        root = m.spawn_process(uid=0)
+        tr = root.new_thread()
+        yield from m.kernel.sys_unlink(root, tr, "/old")
+        fd = yield from m.kernel.sys_open(root, tr, "/sync-point",
+                                          O_RDWR | O_CREAT)
+        yield from m.kernel.sys_fsync(root, tr, fd)
+        # New file writes ONE byte into a recycled block...
+        f2 = yield from lib.open(t, "/new", write=True, create=True)
+        yield from f2.pwrite(t, 0, 1, b"x")
+        n, data = yield from f2.pread(t, 0, 1)
+        assert data == b"x"
+        # ...and the rest of that block must never expose 'S'.
+        yield from f2.pwrite(t, 4095, 1, b"y")  # extends to 4096
+        n, data = yield from f2.pread(t, 0, 4096)
+        return data
+
+    data = m.run_process(body())
+    assert b"S" not in data
+
+
+def test_dma_into_foreign_buffer_blocked(m):
+    """The device validates the DMA buffer IOVA against the submitting
+    PASID: pointing it at another process's buffer faults."""
+    victim = m.spawn_process(uid=1000)
+    vlib = m.userlib(victim)
+    tv = victim.new_thread()
+
+    def victim_setup():
+        f = yield from vlib.open(tv, "/vic", write=True, create=True)
+        yield from f.append(tv, 4096, b"v" * 4096)
+        yield from f.pread(tv, 0, 512)  # allocate the DMA context
+        return f
+
+    m.run_process(victim_setup())
+    victim_buf = next(iter(vlib._ctxs.values())).buf
+
+    attacker = m.spawn_process(uid=6666)
+    alib = m.userlib(attacker)
+    ta = attacker.new_thread()
+
+    def attacker_setup():
+        f = yield from alib.open(ta, "/atk", write=True, create=True)
+        yield from f.append(ta, 4096, b"a" * 4096)
+        yield from f.pread(ta, 0, 512)  # allocate the DMA context
+        return f
+
+    f = m.run_process(attacker_setup())
+    qp = next(iter(alib._ctxs.values())).qp
+    cmd = Command(Opcode.READ, addr=f.state.vba, nbytes=4096,
+                  addr_kind=AddressKind.VBA,
+                  buffer_iova=victim_buf.iova)
+    completion = raw_submit_on(m, qp, cmd)
+    assert completion.status is Status.TRANSLATION_FAULT
+
+
+def raw_submit_on(m, qp, cmd):
+    def body():
+        c = yield m.device.submit(qp, cmd)
+        return c
+
+    return m.run_process(body())

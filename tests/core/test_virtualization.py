@@ -1,0 +1,76 @@
+"""VMs (paper Section 5.2): nested VBA translation.
+
+A guest process behind Scalable-IOV/SR-IOV reaches the device directly;
+the IOMMU performs a *nested* (two-dimensional) walk to translate its
+VBAs.  Translation gets slower but the data path still avoids both the
+guest and host kernels.
+"""
+
+import pytest
+
+from repro import GiB, HardwareParams, Machine
+from repro.hw.iommu import IOMMU
+from repro.hw.pagetable import PAGE_SIZE, PageTable
+from repro.hw.params import DEFAULT_PARAMS
+
+VA = 0x5000_0000_0000
+
+
+def make(nested):
+    iommu = IOMMU(DEFAULT_PARAMS, nested=nested)
+    pt = PageTable()
+    iommu.bind_pasid(3, pt)
+    for i in range(8):
+        pt.map_file_page(VA + i * PAGE_SIZE, lba=50 + i, devid=1)
+    return iommu
+
+
+def test_nested_translation_slower():
+    flat = make(nested=False).translate_vba(3, VA, 4096, write=False,
+                                            requester_devid=1)
+    nested = make(nested=True).translate_vba(3, VA, 4096, write=False,
+                                             requester_devid=1)
+    assert nested.cost_ns > flat.cost_ns
+    # The walk component scales by ~2.33; PCIe/ATS are unchanged.
+    flat_walk = flat.cost_ns - 345 - 22
+    nested_walk = nested.cost_ns - 345 - 22
+    assert nested_walk == pytest.approx(
+        flat_walk * DEFAULT_PARAMS.nested_walk_factor, abs=2)
+
+
+def test_nested_translation_same_result():
+    flat = make(nested=False).translate_vba(3, VA, 8 * 4096, write=False,
+                                            requester_devid=1)
+    nested = make(nested=True).translate_vba(3, VA, 8 * 4096,
+                                             write=False,
+                                             requester_devid=1)
+    assert flat.pairs == nested.pairs
+
+
+def test_guest_bypassd_still_beats_sync():
+    """Even with nested walks, direct access wins (the paper's point:
+    future/virtualised deployments keep the benefit)."""
+
+    def read_latency(nested):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                    capture_data=False)
+        m.iommu.nested = nested
+        proc = m.spawn_process()
+        lib = m.userlib(proc)
+        t = proc.new_thread()
+
+        def body():
+            f = yield from lib.open(t, "/g", write=True, create=True)
+            yield from m.kernel.sys_fallocate(proc, t, f.state.fd, 0,
+                                              1 << 20)
+            yield from f.pread(t, 0, 4096)
+            t0 = m.now
+            for i in range(8):
+                yield from f.pread(t, i * 4096, 4096)
+            return (m.now - t0) / 8
+
+        return m.run_process(body())
+
+    flat = read_latency(False)
+    nested = read_latency(True)
+    assert flat < nested < 7843  # still well under the kernel stack

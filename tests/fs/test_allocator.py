@@ -1,0 +1,132 @@
+"""Unit + property tests for the block allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs.ext4.allocator import BlockAllocator, NoSpaceError
+
+
+class TestBasics:
+    def test_alloc_returns_extents(self):
+        a = BlockAllocator(100, 1000)
+        got = a.alloc(10)
+        assert sum(c for _, c in got) == 10
+        assert a.allocated == 10
+        assert a.free_blocks == 990
+
+    def test_alloc_contiguous_when_possible(self):
+        a = BlockAllocator(0, 1000)
+        got = a.alloc(64)
+        assert len(got) == 1
+
+    def test_goal_extends_in_place(self):
+        a = BlockAllocator(0, 1000)
+        first = a.alloc(8)
+        start, count = first[0]
+        more = a.alloc(8, goal=start + count)
+        assert more[0][0] == start + count
+
+    def test_exhaustion(self):
+        a = BlockAllocator(0, 16)
+        a.alloc(16)
+        with pytest.raises(NoSpaceError):
+            a.alloc(1)
+
+    def test_bad_count(self):
+        a = BlockAllocator(0, 16)
+        with pytest.raises(ValueError):
+            a.alloc(0)
+
+    def test_splits_across_runs_when_fragmented(self):
+        a = BlockAllocator(0, 100)
+        x = a.alloc(40)
+        y = a.alloc(40)
+        # Free the two with a gap so no contiguous run of 60 exists.
+        a.free(x[0][0], 40, deferred=False)
+        got = a.alloc(60)
+        assert sum(c for _, c in got) == 60
+        assert len(got) >= 2
+
+
+class TestDeferredReuse:
+    def test_deferred_not_reusable_until_drain(self):
+        """Section 3.6: freed blocks stay quarantined until a sync."""
+        a = BlockAllocator(0, 10)
+        got = a.alloc(10)
+        a.free(got[0][0], 10)  # deferred by default
+        assert a.free_blocks == 0
+        assert a.deferred_blocks == 10
+        with pytest.raises(NoSpaceError):
+            a.alloc(1)
+        assert a.drain_deferred() == 10
+        assert a.free_blocks == 10
+        a.alloc(1)
+
+    def test_immediate_free(self):
+        a = BlockAllocator(0, 10)
+        got = a.alloc(4)
+        a.free(got[0][0], 4, deferred=False)
+        assert a.free_blocks == 10
+
+    def test_double_free_detected(self):
+        a = BlockAllocator(0, 100)
+        got = a.alloc(10)
+        start = got[0][0]
+        a.free(start, 10, deferred=False)
+        a.allocated += 10  # fake accounting to reach the overlap check
+        with pytest.raises(ValueError):
+            a.free(start, 10, deferred=False)
+
+    def test_out_of_range_free(self):
+        a = BlockAllocator(100, 50)
+        with pytest.raises(ValueError):
+            a.free(10, 5)
+
+    def test_overfree_detected(self):
+        a = BlockAllocator(0, 100)
+        a.alloc(5)
+        with pytest.raises(ValueError):
+            a.free(0, 50)
+
+
+class TestInvariantsProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["alloc", "free", "drain"]),
+                              st.integers(min_value=1, max_value=64)),
+                    max_size=80))
+    def test_random_ops_keep_invariants(self, ops):
+        """Property: any alloc/free/drain sequence keeps accounting
+        exact, free runs coalesced, and never double-allocates."""
+        a = BlockAllocator(10, 512)
+        live = []  # list of (start, count) currently allocated
+        for op, n in ops:
+            if op == "alloc":
+                if n <= a.free_blocks:
+                    for start, count in a.alloc(n):
+                        live.append((start, count))
+            elif op == "free" and live:
+                start, count = live.pop(n % len(live))
+                a.free(start, count)
+            else:
+                a.drain_deferred()
+            a.check_invariants()
+        # Whatever is live is disjoint.
+        spans = sorted(live)
+        for (s1, c1), (s2, _c2) in zip(spans, spans[1:]):
+            assert s1 + c1 <= s2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=32), min_size=1,
+                    max_size=30))
+    def test_alloc_free_all_restores_capacity(self, sizes):
+        a = BlockAllocator(0, 2048)
+        allocations = []
+        for n in sizes:
+            if n <= a.free_blocks:
+                allocations.extend(a.alloc(n))
+        for start, count in allocations:
+            a.free(start, count)
+        a.drain_deferred()
+        a.check_invariants()
+        assert a.free_blocks == 2048
+        assert a.allocated == 0

@@ -1,0 +1,158 @@
+"""Unit tests for directories, path handling and inode permissions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs.ext4.directory import (
+    DirectoryError,
+    DirectoryTree,
+    FileExists,
+    FileNotFound,
+    NotADirectory,
+    split_path,
+)
+from repro.fs.ext4.inode import FileType, Inode
+
+
+def make_tree():
+    inodes = {}
+    root = Inode(1, FileType.DIRECTORY, 0o755, uid=0, gid=0)
+    inodes[1] = root
+    return DirectoryTree(root, inodes), inodes
+
+
+def add(tree, inodes, parent_path, name, ftype=FileType.REGULAR,
+        mode=0o644, ino=None):
+    ino = ino or (max(inodes) + 1)
+    node = Inode(ino, ftype, mode, uid=1000, gid=1000)
+    inodes[ino] = node
+    parent = tree.resolve(parent_path)
+    tree.link(parent, name, node)
+    return node
+
+
+class TestSplitPath:
+    def test_simple(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+        assert split_path("/a//b/") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(DirectoryError):
+            split_path("a/b")
+
+    def test_dots_rejected(self):
+        with pytest.raises(DirectoryError):
+            split_path("/a/../b")
+        with pytest.raises(DirectoryError):
+            split_path("/a/./b")
+
+    @given(st.lists(st.text(
+        alphabet=st.characters(blacklist_characters="/",
+                               blacklist_categories=("Cs",)),
+        min_size=1, max_size=10).filter(lambda s: s not in (".", "..")),
+        max_size=5))
+    def test_roundtrip(self, parts):
+        path = "/" + "/".join(parts)
+        assert split_path(path) == parts
+
+
+class TestDirectoryTree:
+    def test_resolve_nested(self):
+        tree, inodes = make_tree()
+        add(tree, inodes, "/", "d", FileType.DIRECTORY)
+        f = add(tree, inodes, "/d", "f")
+        assert tree.resolve("/d/f") is f
+
+    def test_missing_raises(self):
+        tree, _ = make_tree()
+        with pytest.raises(FileNotFound):
+            tree.resolve("/nope")
+
+    def test_file_as_dir_raises(self):
+        tree, inodes = make_tree()
+        add(tree, inodes, "/", "f")
+        with pytest.raises(NotADirectory):
+            tree.resolve("/f/child")
+
+    def test_duplicate_link_raises(self):
+        tree, inodes = make_tree()
+        add(tree, inodes, "/", "f")
+        with pytest.raises(FileExists):
+            add(tree, inodes, "/", "f")
+
+    def test_unlink_nonempty_dir_raises(self):
+        tree, inodes = make_tree()
+        add(tree, inodes, "/", "d", FileType.DIRECTORY)
+        add(tree, inodes, "/d", "f")
+        with pytest.raises(DirectoryError):
+            tree.unlink(tree.resolve("/"), "d")
+
+    def test_listdir_sorted(self):
+        tree, inodes = make_tree()
+        for name in ("zeta", "alpha", "mid"):
+            add(tree, inodes, "/", name)
+        assert tree.listdir("/") == ["alpha", "mid", "zeta"]
+
+    def test_walk_visits_everything(self):
+        tree, inodes = make_tree()
+        add(tree, inodes, "/", "d", FileType.DIRECTORY)
+        add(tree, inodes, "/d", "f1")
+        add(tree, inodes, "/", "f2")
+        paths = {path for path, _ in tree.walk()}
+        assert paths == {"/", "/d", "/d/f1", "/f2"}
+
+
+class TestInodePermissions:
+    def _inode(self, mode, uid=1000, gid=100):
+        return Inode(5, FileType.REGULAR, mode, uid=uid, gid=gid)
+
+    def test_owner_bits(self):
+        inode = self._inode(0o600)
+        assert inode.may_read(1000, {100})
+        assert inode.may_write(1000, {100})
+        assert not inode.may_read(2000, {200})
+
+    def test_group_bits(self):
+        inode = self._inode(0o640)
+        assert inode.may_read(2000, {100})       # group member
+        assert not inode.may_write(2000, {100})
+        assert not inode.may_read(2000, {999})   # other
+
+    def test_other_bits(self):
+        inode = self._inode(0o604)
+        assert inode.may_read(2000, {999})
+        assert not inode.may_write(2000, {999})
+
+    def test_root_always_allowed(self):
+        inode = self._inode(0o000)
+        assert inode.may_read(0, set())
+        assert inode.may_write(0, set())
+
+    def test_mode_string(self):
+        assert self._inode(0o644).mode_string() == "-rw-r--r--"
+        d = Inode(6, FileType.DIRECTORY, 0o755, uid=0, gid=0)
+        assert d.mode_string() == "drwxr-xr-x"
+
+    def test_size_setter_validation(self):
+        inode = self._inode(0o644)
+        with pytest.raises(ValueError):
+            inode.size = -1
+
+    @given(mode=st.integers(min_value=0, max_value=0o777),
+           uid=st.sampled_from([1000, 2000]),
+           gid_member=st.booleans(),
+           want_write=st.booleans())
+    def test_permission_matrix(self, mode, uid, gid_member, want_write):
+        inode = self._inode(mode, uid=1000, gid=100)
+        gids = {100} if gid_member else {999}
+        if uid == 1000:
+            bits = (mode >> 6) & 7
+        elif gid_member:
+            bits = (mode >> 3) & 7
+        else:
+            bits = mode & 7
+        expected = bool(bits & (2 if want_write else 4))
+        got = (inode.may_write(uid, gids) if want_write
+               else inode.may_read(uid, gids))
+        assert got == expected

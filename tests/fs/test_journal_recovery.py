@@ -1,0 +1,184 @@
+"""Journal semantics and crash-recovery property tests.
+
+The model under test is the paper's guarantee (Section 4.4): ext4-style
+*metadata* crash consistency — committed transactions survive, the
+uncommitted running transaction evaporates, and recovery always yields
+an fsck-clean filesystem.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs.ext4.filesystem import Ext4Filesystem
+from repro.fs.ext4.journal import Journal
+from repro.hw.params import DEFAULT_PARAMS
+
+CAP = 256 << 20
+
+
+def mkfs():
+    return Ext4Filesystem.mkfs(CAP, devid=1, params=DEFAULT_PARAMS)
+
+
+def drive(gen):
+    for _ in gen:
+        raise AssertionError("NullVolume should not yield")
+
+
+class TestJournal:
+    def test_commit_seals_transaction(self):
+        j = Journal()
+        j.log("create", ino=2)
+        txn = j.commit()
+        assert txn.committed
+        assert j.commits == 1
+        with pytest.raises(RuntimeError):
+            txn.log("more")
+
+    def test_empty_commit_is_noop(self):
+        j = Journal()
+        assert j.commit() is None
+        assert j.commits == 0
+
+    def test_drop_running_loses_uncommitted(self):
+        j = Journal()
+        j.log("a")
+        j.commit()
+        j.log("b")
+        lost = j.drop_running()
+        assert lost == 1
+        assert [op for op, _ in j.durable_records()] == ["a"]
+
+    def test_block_estimate(self):
+        j = Journal()
+        for _ in range(9):
+            j.log("x")
+        assert j.running().block_estimate == 3  # 4 records per block
+
+
+class TestRecovery:
+    def test_committed_state_survives(self):
+        fs = mkfs()
+        inode = fs.create("/a")
+        drive(fs.allocate_blocks(inode, 0, 8))
+        fs.set_size(inode, 8 * 4096)
+        fs.journal.commit()
+        recovered = Ext4Filesystem.recover(fs.crash_image(), CAP,
+                                           devid=1,
+                                           params=DEFAULT_PARAMS)
+        recovered.fsck()
+        got = recovered.lookup("/a")
+        assert got.size == 8 * 4096
+        assert got.extents.physical_runs() == \
+            inode.extents.physical_runs()
+
+    def test_uncommitted_changes_lost(self):
+        fs = mkfs()
+        fs.create("/a")
+        fs.journal.commit()
+        fs.create("/b")  # never committed
+        recovered = Ext4Filesystem.recover(fs.crash_image(), CAP,
+                                           devid=1,
+                                           params=DEFAULT_PARAMS)
+        assert recovered.exists("/a")
+        assert not recovered.exists("/b")
+
+    def test_unlink_survives(self):
+        fs = mkfs()
+        inode = fs.create("/a")
+        drive(fs.allocate_blocks(inode, 0, 4))
+        fs.unlink("/a")
+        fs.journal.commit()
+        recovered = Ext4Filesystem.recover(fs.crash_image(), CAP,
+                                           devid=1,
+                                           params=DEFAULT_PARAMS)
+        recovered.fsck()
+        assert not recovered.exists("/a")
+        assert recovered.allocator.allocated == 0
+
+    def test_truncate_survives(self):
+        fs = mkfs()
+        inode = fs.create("/a")
+        drive(fs.fallocate(inode, 0, 16 * 4096))
+        drive(fs.truncate(inode, 4 * 4096))
+        fs.journal.commit()
+        recovered = Ext4Filesystem.recover(fs.crash_image(), CAP,
+                                           devid=1,
+                                           params=DEFAULT_PARAMS)
+        recovered.fsck()
+        assert recovered.lookup("/a").mapped_blocks == 4
+
+
+@st.composite
+def fs_operations(draw):
+    """A random schedule of filesystem metadata operations with commit
+    points sprinkled in."""
+    ops = draw(st.lists(st.sampled_from(
+        ["create", "alloc", "truncate", "unlink", "commit"]),
+        min_size=1, max_size=40))
+    return ops
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(fs_operations(), st.randoms(use_true_random=False))
+    def test_recovery_always_fsck_clean(self, ops, rng):
+        """Property: crash after any op sequence -> recovery passes
+        fsck, and every file visible at the last commit point is
+        present with its committed geometry."""
+        fs = mkfs()
+        files = []
+        committed_view = {}
+        n = 0
+        for op in ops:
+            try:
+                if op == "create":
+                    name = f"/f{n}"
+                    n += 1
+                    fs.create(name)
+                    files.append(name)
+                elif op == "alloc" and files:
+                    name = rng.choice(files)
+                    inode = fs.lookup(name)
+                    drive(fs.allocate_blocks(
+                        inode, inode.extents.last_logical,
+                        rng.randint(1, 16)))
+                    fs.set_size(inode, inode.mapped_blocks * 4096)
+                elif op == "truncate" and files:
+                    name = rng.choice(files)
+                    inode = fs.lookup(name)
+                    drive(fs.truncate(
+                        inode, rng.randint(0, max(inode.size, 1))))
+                elif op == "unlink" and files:
+                    name = rng.choice(files)
+                    files.remove(name)
+                    fs.unlink(name)
+                elif op == "commit":
+                    fs.journal.commit()
+                    committed_view = {
+                        name: fs.lookup(name).extents.physical_runs()
+                        for name in files
+                    }
+            except Exception:
+                raise
+        recovered = Ext4Filesystem.recover(fs.crash_image(), CAP,
+                                           devid=1,
+                                           params=DEFAULT_PARAMS)
+        recovered.fsck()
+        for name, runs in committed_view.items():
+            assert recovered.exists(name)
+            # Geometry may have advanced after the commit, but committed
+            # prefix blocks must still belong to this file.
+            rec_runs = recovered.lookup(name).extents.physical_runs()
+            rec_blocks = {
+                b for start, count in rec_runs
+                for b in range(start, start + count)
+            }
+            committed_blocks = {
+                b for start, count in runs
+                for b in range(start, start + count)
+            }
+            # Every committed block either still belongs to the file or
+            # was truncated by a *later committed* operation — since we
+            # snapshot at the last commit, they must all be present.
+            assert committed_blocks <= rec_blocks or not committed_blocks

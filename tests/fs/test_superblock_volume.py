@@ -1,0 +1,94 @@
+"""Unit tests for filesystem geometry and the kernel volume."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.fs.ext4.superblock import FS_BLOCK_SIZE, Superblock
+
+
+class TestSuperblock:
+    def test_layout_ordering(self):
+        sb = Superblock(total_blocks=1 << 20)
+        assert sb.journal_start < sb.inode_table_start
+        assert sb.inode_table_start < sb.first_data_block
+        assert sb.first_data_block < sb.total_blocks
+
+    def test_data_block_accounting(self):
+        sb = Superblock(total_blocks=1 << 20)
+        assert sb.data_blocks == sb.total_blocks - sb.first_data_block
+        assert sb.capacity_bytes() == sb.data_blocks * FS_BLOCK_SIZE
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Superblock(total_blocks=100)
+
+    def test_inode_table_sizing(self):
+        sb = Superblock(total_blocks=1 << 20, inode_count=16_000)
+        assert sb.inode_table_blocks == 1000  # 16 inodes per block
+
+    def test_mount_flags(self):
+        sb = Superblock(total_blocks=1 << 20)
+        assert not sb.mounted
+        assert sb.mount_count == 0
+
+
+class TestKernelVolume:
+    def test_metadata_io_counts(self):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+        proc = m.spawn_process()
+        t = proc.new_thread()
+        from repro.kernel.process import O_CREAT, O_RDWR
+
+        def body():
+            fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                              O_RDWR | O_CREAT)
+            yield from m.kernel.sys_fallocate(proc, t, fd, 0, 1 << 20)
+            yield from m.kernel.sys_fsync(proc, t, fd)
+
+        m.run_process(body())
+        # The journal commit wrote metadata blocks through the volume.
+        assert m.volume.meta_writes >= 1
+
+    def test_cold_fmap_reads_metadata(self):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+        proc = m.spawn_process()
+        t = proc.new_thread()
+        from repro.kernel.process import O_CREAT, O_DIRECT, O_RDWR
+
+        def create():
+            fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                              O_RDWR | O_CREAT)
+            yield from m.kernel.sys_fallocate(proc, t, fd, 0, 1 << 20)
+            yield from m.kernel.sys_close(proc, t, fd)
+
+        m.run_process(create())
+        # Evict the extent-status cache: the next fmap must read the
+        # block-mapping metadata from the device (the cold-cold case).
+        inode = m.fs.lookup("/f")
+        m.fs.es_cache.evict(inode.ino)
+        inode.file_table = None
+        before = m.volume.meta_reads
+
+        proc2 = m.spawn_process()
+        t2 = proc2.new_thread()
+
+        def remap():
+            fd = yield from m.kernel.sys_open(proc2, t2, "/f",
+                                              O_RDWR | O_DIRECT,
+                                              bypass_intent=True)
+            vba = yield from m.kernel.sys_fmap(proc2, t2, fd)
+            return vba
+
+        assert m.run_process(remap()) != 0
+        assert m.volume.meta_reads > before
+
+    def test_volume_zero_blocks_zeroes_media(self):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+        block = m.fs.sb.first_data_block
+        m.device.backend.write_blocks(block * 8, 8, b"x" * 4096)
+
+        def body():
+            yield from m.volume.zero_blocks(block, 1)
+
+        m.run_process(body())
+        assert m.device.backend.read_blocks(block * 8, 8) == bytes(4096)

@@ -1,0 +1,80 @@
+"""Property tests for the IOMMU's VBA translation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.iommu import IOMMU
+from repro.hw.pagetable import PAGE_SIZE, PageTable
+from repro.hw.params import DEFAULT_PARAMS
+
+VA = 0x5000_0000_0000
+
+
+@st.composite
+def file_layouts(draw):
+    """A mapped file as (page -> device page), possibly fragmented."""
+    n_extents = draw(st.integers(min_value=1, max_value=6))
+    layout = {}
+    logical = 0
+    phys = draw(st.integers(min_value=1, max_value=1000))
+    for _ in range(n_extents):
+        count = draw(st.integers(min_value=1, max_value=12))
+        for i in range(count):
+            layout[logical + i] = phys + i
+        logical += count
+        phys += count + draw(st.integers(min_value=0, max_value=50))
+    return layout
+
+
+class TestTranslationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(layout=file_layouts(), data=st.data())
+    def test_pairs_cover_exactly_and_coalesce_maximally(self, layout,
+                                                        data):
+        iommu = IOMMU(DEFAULT_PARAMS)
+        pt = PageTable()
+        iommu.bind_pasid(1, pt)
+        for page, dev in layout.items():
+            pt.map_file_page(VA + page * PAGE_SIZE, lba=dev, devid=1)
+        total_pages = len(layout)
+        first = data.draw(st.integers(min_value=0,
+                                      max_value=total_pages - 1))
+        count = data.draw(st.integers(min_value=1,
+                                      max_value=total_pages - first))
+        result = iommu.translate_vba(
+            1, VA + first * PAGE_SIZE, count * PAGE_SIZE,
+            write=False, requester_devid=1)
+        # Exact coverage, in order.
+        expanded = []
+        for dev, length in result.pairs:
+            expanded.extend(range(dev, dev + length))
+        expected = [layout[p] for p in range(first, first + count)]
+        assert expanded == expected
+        # Maximal coalescing: no two adjacent pairs are contiguous.
+        for (d1, l1), (d2, _l2) in zip(result.pairs, result.pairs[1:]):
+            assert d1 + l1 != d2
+        # Cost is bounded and at least the 550ns minimum.
+        assert result.cost_ns >= 550
+        assert result.cost_ns <= 550 + (count + 8) * \
+            DEFAULT_PARAMS.pagewalk_memref_ns
+
+    @settings(max_examples=30, deadline=None)
+    @given(layout=file_layouts())
+    def test_hole_anywhere_in_range_faults(self, layout):
+        from repro.hw.iommu import TranslationFault
+        import pytest
+
+        iommu = IOMMU(DEFAULT_PARAMS)
+        pt = PageTable()
+        iommu.bind_pasid(1, pt)
+        for page, dev in layout.items():
+            pt.map_file_page(VA + page * PAGE_SIZE, lba=dev, devid=1)
+        hole = len(layout)  # one page past the mapping
+        with pytest.raises(TranslationFault):
+            iommu.translate_vba(1, VA + hole * PAGE_SIZE, PAGE_SIZE,
+                                write=False, requester_devid=1)
+        # A range that straddles the hole also faults.
+        if len(layout) >= 1:
+            with pytest.raises(TranslationFault):
+                iommu.translate_vba(
+                    1, VA + (hole - 1) * PAGE_SIZE, 2 * PAGE_SIZE,
+                    write=False, requester_devid=1)

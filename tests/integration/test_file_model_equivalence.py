@@ -1,0 +1,104 @@
+"""Property test: a BypassD file behaves exactly like a byte array.
+
+Random sequences of pwrite/append/pread/truncate/fsync through the
+whole stack (UserLib -> IOMMU -> device -> ext4 metadata) must match a
+plain in-memory reference model, byte for byte.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GiB, Machine
+
+MAX_FILE = 256 * 1024  # keep cases quick
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        kind = draw(st.sampled_from(
+            ["pwrite", "append", "pread", "truncate", "fsync"]))
+        if kind in ("pwrite", "pread"):
+            offset = draw(st.integers(min_value=0,
+                                      max_value=MAX_FILE - 1))
+            length = draw(st.integers(min_value=1, max_value=8192))
+            ops.append((kind, offset, min(length, MAX_FILE - offset)))
+        elif kind == "append":
+            ops.append((kind, draw(st.integers(min_value=1,
+                                               max_value=8192)), 0))
+        elif kind == "truncate":
+            ops.append((kind, draw(st.integers(min_value=0,
+                                               max_value=MAX_FILE)), 0))
+        else:
+            ops.append((kind, 0, 0))
+    return ops
+
+
+class TestModelEquivalence:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(ops=operations(), seed=st.integers(min_value=0,
+                                              max_value=2**16))
+    def test_bypassd_file_matches_bytearray(self, ops, seed):
+        import random
+        rng = random.Random(seed)
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+        proc = m.spawn_process()
+        lib = m.userlib(proc)
+        t = proc.new_thread()
+        model = bytearray()
+
+        def body():
+            f = yield from lib.open(t, "/model", write=True,
+                                    create=True)
+            for kind, a, b in ops:
+                if kind == "pwrite":
+                    offset, length = a, b
+                    if offset > len(model):
+                        # Writing past EOF through a hole: grow model
+                        # with zeros like the filesystem does.
+                        model.extend(bytes(offset - len(model)))
+                    data = bytes(rng.randrange(1, 256)
+                                 for _ in range(length))
+                    yield from f.pwrite(t, offset, length, data)
+                    if offset + length > len(model):
+                        model.extend(bytes(offset + length
+                                           - len(model)))
+                    model[offset:offset + length] = data
+                elif kind == "append":
+                    length = a
+                    data = bytes(rng.randrange(1, 256)
+                                 for _ in range(length))
+                    yield from f.append(t, length, data)
+                    model.extend(data)
+                elif kind == "pread":
+                    offset, length = a, b
+                    n, data = yield from f.pread(t, offset, length)
+                    expect = bytes(model[offset:offset + length])
+                    assert n == len(expect), \
+                        f"{kind}@{offset}+{length}: n={n} " \
+                        f"expected {len(expect)}"
+                    assert data[:n] == expect
+                elif kind == "truncate":
+                    new_size = a
+                    yield from m.kernel.sys_ftruncate(proc, t,
+                                                      f.state.fd,
+                                                      new_size)
+                    f.state.size = new_size
+                    if new_size <= len(model):
+                        del model[new_size:]
+                    else:
+                        model.extend(bytes(new_size - len(model)))
+                else:
+                    yield from f.fsync(t)
+            # Final full verification.
+            if model:
+                n, data = yield from f.pread(t, 0, len(model))
+                assert n == len(model)
+                assert data == bytes(model)
+            yield from f.close(t)
+
+        m.run_process(body())
+        m.fs.fsck()

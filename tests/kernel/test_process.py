@@ -1,0 +1,106 @@
+"""Unit tests for processes, address spaces and descriptors."""
+
+import pytest
+
+from repro.hw.pagetable import PMD_SPAN, PUD_SPAN
+from repro.kernel.process import (
+    O_APPEND,
+    O_DIRECT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    AddressSpace,
+    FileDescription,
+    Process,
+)
+from repro.sim.cpu import CPUSet
+from repro.sim.engine import Simulator
+
+
+def make_proc(**kw):
+    sim = Simulator()
+    return Process(CPUSet(sim, 4), **kw)
+
+
+class TestAddressSpace:
+    def test_fmap_regions_pmd_aligned(self):
+        aspace = AddressSpace(pasid=1)
+        va1 = aspace.alloc_fmap_region(4096)
+        va2 = aspace.alloc_fmap_region(10 * PMD_SPAN)
+        assert va1 % PMD_SPAN == 0
+        assert va2 % PMD_SPAN == 0
+        assert va2 >= va1 + PMD_SPAN  # no overlap
+
+    def test_huge_region_pud_aligned(self):
+        aspace = AddressSpace(pasid=1)
+        va = aspace.alloc_fmap_region(2 * PUD_SPAN)
+        assert va % PUD_SPAN == 0
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(pasid=1).alloc_fmap_region(0)
+
+    def test_mmap_regions_distinct_from_fmap(self):
+        aspace = AddressSpace(pasid=1)
+        mva = aspace.alloc_mmap_region(8192)
+        fva = aspace.alloc_fmap_region(8192)
+        assert abs(mva - fva) > PUD_SPAN
+
+
+class TestProcess:
+    def test_unique_pids_and_pasids(self):
+        a, b = make_proc(), make_proc()
+        assert a.pid != b.pid
+        assert a.pasid != b.pasid
+
+    def test_default_gids(self):
+        proc = make_proc(uid=1234)
+        assert proc.gids == {1234}
+
+    def test_fd_lifecycle(self):
+        proc = make_proc()
+        fdesc = proc.install_fd("/x", inode=None, flags=O_RDWR)
+        assert proc.get_fd(fdesc.fd) is fdesc
+        proc.drop_fd(fdesc.fd)
+        with pytest.raises(OSError):
+            proc.get_fd(fdesc.fd)
+
+    def test_fds_monotonic(self):
+        proc = make_proc()
+        a = proc.install_fd("/a", None, O_RDONLY)
+        b = proc.install_fd("/b", None, O_RDONLY)
+        assert b.fd == a.fd + 1
+
+    def test_resolve_path_chroot(self):
+        proc = make_proc(chroot="/containers/x")
+        assert proc.resolve_path("/f") == "/containers/x/f"
+        plain = make_proc()
+        assert plain.resolve_path("/f") == "/f"
+
+    def test_resolve_relative_rejected(self):
+        with pytest.raises(ValueError):
+            make_proc().resolve_path("f")
+
+    def test_threads_tracked(self):
+        proc = make_proc()
+        t1, t2 = proc.new_thread(), proc.new_thread()
+        assert proc.threads == [t1, t2]
+        assert t1.name != t2.name
+
+
+class TestFileDescription:
+    def test_access_flags(self):
+        inode = object()
+        assert FileDescription(3, "/f", inode, O_RDONLY).readable
+        assert not FileDescription(3, "/f", inode, O_RDONLY).writable
+        assert FileDescription(3, "/f", inode, O_WRONLY).writable
+        assert not FileDescription(3, "/f", inode, O_WRONLY).readable
+        rw = FileDescription(3, "/f", inode, O_RDWR)
+        assert rw.readable and rw.writable
+
+    def test_modifier_flags(self):
+        inode = object()
+        d = FileDescription(3, "/f", inode, O_RDWR | O_DIRECT)
+        assert d.direct and not d.append_mode
+        a = FileDescription(3, "/f", inode, O_WRONLY | O_APPEND)
+        assert a.append_mode and not a.direct

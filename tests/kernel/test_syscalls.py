@@ -1,0 +1,339 @@
+"""Unit tests for the kernel syscall layer."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.kernel.process import (
+    O_APPEND,
+    O_CREAT,
+    O_DIRECT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+)
+from repro.kernel.syscalls import PermissionError_
+
+
+@pytest.fixture
+def m():
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+
+def run(m, gen):
+    return m.run_process(gen)
+
+
+def test_open_creates_and_returns_fd(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/x",
+                                          O_RDWR | O_CREAT)
+        return fd
+
+    fd = run(m, body())
+    assert fd >= 3
+    assert m.fs.exists("/x")
+
+
+def test_open_missing_raises(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        yield from m.kernel.sys_open(proc, t, "/missing", O_RDONLY)
+
+    with pytest.raises(Exception):
+        run(m, body())
+
+
+def test_permission_checks_on_open(m):
+    owner = m.spawn_process(uid=1000)
+    other = m.spawn_process(uid=2000)
+    t1, t2 = owner.new_thread(), other.new_thread()
+
+    def body():
+        yield from m.kernel.sys_open(owner, t1, "/private",
+                                     O_RDWR | O_CREAT, mode=0o600)
+        # A different uid cannot open it.
+        try:
+            yield from m.kernel.sys_open(other, t2, "/private", O_RDONLY)
+        except PermissionError_:
+            return "denied"
+        return "allowed"
+
+    assert run(m, body()) == "denied"
+
+
+def test_root_bypasses_permissions(m):
+    owner = m.spawn_process(uid=1000)
+    root = m.spawn_process(uid=0)
+    t1, t2 = owner.new_thread(), root.new_thread()
+
+    def body():
+        yield from m.kernel.sys_open(owner, t1, "/private",
+                                     O_RDWR | O_CREAT, mode=0o600)
+        fd = yield from m.kernel.sys_open(root, t2, "/private", O_RDONLY)
+        return fd
+
+    assert run(m, body()) >= 3
+
+
+def test_write_read_roundtrip_direct(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+    payload = bytes(range(256)) * 32  # 8 KiB
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        n = yield from m.kernel.sys_pwrite(proc, t, fd, 0, len(payload),
+                                           payload)
+        assert n == len(payload)
+        n, data = yield from m.kernel.sys_pread(proc, t, fd, 0,
+                                                len(payload))
+        return n, data
+
+    n, data = run(m, body())
+    assert n == len(payload)
+    assert data == payload
+
+
+def test_write_read_roundtrip_buffered(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+    payload = b"hello page cache" * 100
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 10, len(payload),
+                                       payload)
+        n, data = yield from m.kernel.sys_pread(proc, t, fd, 10,
+                                                len(payload))
+        return n, data
+
+    n, data = run(m, body())
+    assert data == payload
+
+
+def test_buffered_data_survives_fsync_and_cache_invalidation(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+    payload = b"durable" * 600
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 0, len(payload),
+                                       payload)
+        yield from m.kernel.sys_fsync(proc, t, fd)
+        m.pagecache.invalidate_inode(m.fs.lookup("/f").ino)
+        n, data = yield from m.kernel.sys_pread(proc, t, fd, 0,
+                                                len(payload))
+        return data
+
+    assert run(m, body()) == payload
+
+
+def test_read_beyond_eof_short(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 0, 1024,
+                                       bytes(1024))
+        n, _ = yield from m.kernel.sys_pread(proc, t, fd, 512, 4096)
+        return n
+
+    assert run(m, body()) == 512
+
+
+def test_read_from_hole_returns_zeros(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        # Write at 8 KiB leaving a hole at [0, 8K).
+        yield from m.kernel.sys_pwrite(proc, t, fd, 8192, 512,
+                                       bytes([1]) * 512)
+        # Hole blocks were never allocated... size covers them though.
+        n, data = yield from m.kernel.sys_pread(proc, t, fd, 0, 512)
+        return n, data
+
+    n, data = run(m, body())
+    assert n == 512
+    assert data == bytes(512)
+
+
+def test_append_mode_appends(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(
+            proc, t, "/log", O_WRONLY | O_CREAT | O_APPEND | O_DIRECT)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 0, 512, b"a" * 512)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 0, 512, b"b" * 512)
+        return m.fs.lookup("/log").size
+
+    assert run(m, body()) == 1024
+
+
+def test_sys_append_returns_old_size(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/log",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        off1 = yield from m.kernel.sys_append(proc, t, fd, 512,
+                                              b"x" * 512)
+        off2 = yield from m.kernel.sys_append(proc, t, fd, 512,
+                                              b"y" * 512)
+        n, data = yield from m.kernel.sys_pread(proc, t, fd, 0, 1024)
+        return off1, off2, data
+
+    off1, off2, data = run(m, body())
+    assert (off1, off2) == (0, 512)
+    assert data == b"x" * 512 + b"y" * 512
+
+
+def test_ftruncate_shrinks_and_caps_reads(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 0, 8192, b"z" * 8192)
+        yield from m.kernel.sys_ftruncate(proc, t, fd, 1024)
+        n, _ = yield from m.kernel.sys_pread(proc, t, fd, 0, 8192)
+        return n
+
+    assert run(m, body()) == 1024
+
+
+def test_fallocate_zeroes_blocks(m):
+    """Security rule (Section 4.1): newly allocated blocks read as
+    zeros even if the device previously stored other users' data."""
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        # Plant secrets directly on the media where allocation begins.
+        first = m.fs.sb.first_data_block
+        m.device.backend.write_blocks(first * 8, 8, b"S" * 4096)
+        fd = yield from m.kernel.sys_open(proc, t, "/new",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_fallocate(proc, t, fd, 0, 4096)
+        n, data = yield from m.kernel.sys_pread(proc, t, fd, 0, 4096)
+        return data
+
+    assert run(m, body()) == bytes(4096)
+
+
+def test_fsync_commits_journal_and_drains(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_fallocate(proc, t, fd, 0, 1 << 20)
+        yield from m.kernel.sys_ftruncate(proc, t, fd, 0)
+        assert m.fs.allocator.deferred_blocks == 256
+        yield from m.kernel.sys_fsync(proc, t, fd)
+        return (m.fs.allocator.deferred_blocks,
+                m.fs.journal.committed_count)
+
+    deferred, commits = run(m, body())
+    assert deferred == 0
+    assert commits >= 1
+
+
+def test_close_updates_timestamps(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 0, 512, bytes(512))
+        before = m.fs.lookup("/f").attrs.mtime_ns
+        yield m.sim.timeout(10_000)
+        yield from m.kernel.sys_close(proc, t, fd)
+        after = m.fs.lookup("/f").attrs.mtime_ns
+        return before, after
+
+    before, after = run(m, body())
+    assert after > before
+
+
+def test_write_to_readonly_fd_rejected(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        yield from m.kernel.sys_open(proc, t, "/f", O_RDWR | O_CREAT)
+        fd = yield from m.kernel.sys_open(proc, t, "/f", O_RDONLY)
+        try:
+            yield from m.kernel.sys_pwrite(proc, t, fd, 0, 512,
+                                           bytes(512))
+        except PermissionError_:
+            return "denied"
+        return "allowed"
+
+    assert run(m, body()) == "denied"
+
+
+def test_unaligned_direct_io_handled(m):
+    """Sub-sector direct I/O is shimmed: over-read on reads, RMW on
+    writes, neighbouring bytes preserved."""
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/f",
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 0, 4096,
+                                       b"A" * 4096)
+        yield from m.kernel.sys_pwrite(proc, t, fd, 100, 7, b"B" * 7)
+        n, data = yield from m.kernel.sys_pread(proc, t, fd, 98, 11)
+        return n, data
+
+    n, data = run(m, body())
+    assert n == 11
+    assert data == b"AA" + b"B" * 7 + b"AA"
+
+
+def test_stat(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        yield from m.kernel.sys_open(proc, t, "/f",
+                                     O_RDWR | O_CREAT, mode=0o640)
+        attrs = yield from m.kernel.sys_stat(proc, t, "/f")
+        return attrs
+
+    attrs = run(m, body())
+    assert attrs.mode == 0o640
+    assert attrs.size == 0
+
+
+def test_unlink_syscall(m):
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        yield from m.kernel.sys_open(proc, t, "/f", O_RDWR | O_CREAT)
+        yield from m.kernel.sys_unlink(proc, t, "/f")
+        return m.fs.exists("/f")
+
+    assert run(m, body()) is False

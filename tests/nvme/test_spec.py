@@ -1,0 +1,67 @@
+"""Unit tests for NVMe command/completion structures."""
+
+import pytest
+
+from repro.nvme.spec import (
+    AddressKind,
+    Command,
+    Completion,
+    Opcode,
+    Status,
+)
+
+
+class TestCommand:
+    def test_defaults(self):
+        cmd = Command(Opcode.READ, addr=0, nbytes=512)
+        assert cmd.addr_kind is AddressKind.LBA
+        assert not cmd.is_write
+        assert cmd.cid > 0
+
+    def test_unique_cids(self):
+        a = Command(Opcode.READ, addr=0, nbytes=512)
+        b = Command(Opcode.READ, addr=0, nbytes=512)
+        assert a.cid != b.cid
+
+    def test_write_flag(self):
+        assert Command(Opcode.WRITE, addr=0, nbytes=512,
+                       data=bytes(512)).is_write
+
+    def test_zero_size_io_rejected(self):
+        with pytest.raises(ValueError):
+            Command(Opcode.READ, addr=0, nbytes=0)
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(ValueError):
+            Command(Opcode.READ, addr=-1, nbytes=512)
+
+    def test_lba_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Command(Opcode.READ, addr=0, nbytes=100)
+
+    def test_vba_byte_granular_size_allowed_at_construction(self):
+        # Device-side validation handles VBA alignment; construction
+        # only enforces LBA-kind alignment.
+        Command(Opcode.READ, addr=0, nbytes=512,
+                addr_kind=AddressKind.VBA)
+
+    def test_flush_needs_no_size(self):
+        cmd = Command(Opcode.FLUSH, addr=0, nbytes=0)
+        assert cmd.opcode is Opcode.FLUSH
+
+
+class TestCompletion:
+    def test_ok(self):
+        assert Completion(cid=1, status=Status.SUCCESS).ok
+        assert not Completion(cid=1,
+                              status=Status.TRANSLATION_FAULT).ok
+
+    def test_status_ok_property(self):
+        assert Status.SUCCESS.ok
+        assert not Status.LBA_OUT_OF_RANGE.ok
+        assert not Status.INVALID_FIELD.ok
+
+    def test_fault_reason_carried(self):
+        c = Completion(cid=1, status=Status.TRANSLATION_FAULT,
+                       fault_reason="DevID mismatch")
+        assert "DevID" in c.fault_reason

@@ -1,0 +1,251 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestEventBasics:
+    def test_event_starts_untriggered(self):
+        sim = Simulator()
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_carries_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(42)
+        sim.run()
+        assert ev.triggered
+        assert ev.value == 42
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_failed_event_raises_on_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        sim.run()
+        with pytest.raises(ValueError):
+            _ = ev.value
+
+    def test_callback_after_processing_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(7)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(125)
+        assert sim.run() == 125
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_timeouts_fire_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.timeout(30).add_callback(lambda e: order.append(30))
+        sim.timeout(10).add_callback(lambda e: order.append(10))
+        sim.timeout(20).add_callback(lambda e: order.append(20))
+        sim.run()
+        assert order == [10, 20, 30]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.timeout(50, value=i).add_callback(
+                lambda e: order.append(e.value))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.timeout(1000)
+        assert sim.run(until=400) == 400
+        assert sim.pending_events == 1
+
+
+class TestProcesses:
+    def test_process_returns_value(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(10)
+            return "done"
+
+        assert sim.run_process(body()) == "done"
+        assert sim.now == 10
+
+    def test_nested_generators(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(5)
+            return 5
+
+        def outer():
+            a = yield from inner()
+            b = yield from inner()
+            return a + b
+
+        assert sim.run_process(outer()) == 10
+        assert sim.now == 10
+
+    def test_yield_non_event_fails(self):
+        sim = Simulator()
+
+        def body():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            sim.run_process(body())
+
+    def test_exception_propagates(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1)
+            raise RuntimeError("inner failure")
+
+        with pytest.raises(RuntimeError, match="inner failure"):
+            sim.run_process(body())
+
+    def test_waiting_on_failed_event_rethrows_in_process(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def body():
+            try:
+                yield ev
+            except ValueError:
+                return "caught"
+
+        proc = sim.process(body())
+        ev.fail(ValueError("x"))
+        sim.run()
+        assert proc.value == "caught"
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                log.append((name, sim.now))
+
+        sim.process(worker("a", 10))
+        sim.process(worker("b", 15))
+        sim.run()
+        # At t=30 both fire; b's timeout was scheduled earlier (t=15)
+        # so FIFO tie-breaking runs it first.
+        assert log == [("a", 10), ("b", 15), ("a", 20), ("b", 30),
+                       ("a", 30), ("b", 45)]
+
+    def test_process_is_waitable_event(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(20)
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return result
+
+        assert sim.run_process(parent()) == "child-result"
+
+    def test_interrupt_raises_in_process(self):
+        sim = Simulator()
+
+        def body():
+            try:
+                yield sim.timeout(1000)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, sim.now)
+
+        proc = sim.process(body())
+        sim.timeout(50).add_callback(lambda e: proc.interrupt("revoked"))
+        sim.run()
+        assert proc.value == ("interrupted", "revoked", 50)
+
+    def test_run_process_unfinished_raises(self):
+        sim = Simulator()
+        ev = sim.event()  # never triggers
+
+        def body():
+            yield ev
+
+        with pytest.raises(SimulationError):
+            sim.run_process(body())
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        t1 = sim.timeout(10, value="a")
+        t2 = sim.timeout(30, value="b")
+
+        def body():
+            results = yield sim.all_of([t1, t2])
+            return (sim.now, results)
+
+        now, results = sim.run_process(body())
+        assert now == 30
+        assert results == {0: "a", 1: "b"}
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        t1 = sim.timeout(10, value="fast")
+        t2 = sim.timeout(99, value="slow")
+
+        def body():
+            results = yield sim.any_of([t1, t2])
+            return (sim.now, results)
+
+        now, results = sim.run_process(body())
+        assert now == 10
+        assert results == {0: "fast"}
+
+    def test_empty_all_of_fires_immediately(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.all_of([])
+            return sim.now
+
+        assert sim.run_process(body()) == 0

@@ -1,0 +1,130 @@
+"""Unit tests for the measurement helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    BreakdownRecorder,
+    LatencyRecorder,
+    ThroughputCounter,
+    TimeSeries,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_simple(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == 50
+        assert percentile(data, 99) == 99
+        assert percentile(data, 100) == 100
+        assert percentile(data, 0) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9),
+                    min_size=1, max_size=200),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_is_a_member_and_bounded(self, data, pct):
+        p = percentile(data, pct)
+        assert p in data
+        assert min(data) <= p <= max(data)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6),
+                    min_size=2, max_size=100))
+    def test_monotone_in_pct(self, data):
+        assert percentile(data, 10) <= percentile(data, 90)
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentiles(self):
+        rec = LatencyRecorder()
+        for v in (1000, 2000, 3000):
+            rec.record(v)
+        assert rec.mean_ns == 2000
+        assert rec.mean_us == 2.0
+        assert rec.percentile_ns(50) == 2000
+        assert rec.min_ns == 1000
+        assert rec.max_ns == 3000
+
+    def test_negative_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.record(-1)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            _ = LatencyRecorder().mean_ns
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.record(10)
+        b.record(30)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean_ns == 20
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        rec.record(5000)
+        s = rec.summary()
+        assert set(s) == {"count", "mean_us", "p50_us", "p99_us",
+                          "p999_us"}
+
+
+class TestThroughputCounter:
+    def test_iops_and_bandwidth(self):
+        c = ThroughputCounter()
+        c.start(0)
+        for _ in range(1000):
+            c.record(nbytes=4096)
+        c.stop(1_000_000_000)  # 1 second
+        assert c.iops == pytest.approx(1000)
+        assert c.gbps == pytest.approx(4096 * 1000 / 1e9)
+        assert c.kops == pytest.approx(1.0)
+
+    def test_unclosed_interval_raises(self):
+        c = ThroughputCounter()
+        c.record()
+        with pytest.raises(ValueError):
+            _ = c.iops
+
+
+class TestTimeSeries:
+    def test_record_and_window(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(t * 100, float(t))
+        assert len(ts) == 10
+        assert ts.between(200, 500) == [2.0, 3.0, 4.0]
+        assert ts.values()[0] == 0.0
+
+
+class TestBreakdownRecorder:
+    def test_table1_style(self):
+        rec = BreakdownRecorder(["switch", "vfs", "device"])
+        rec.record(switch=260, vfs=2810, device=4020)
+        rec.record(switch=260, vfs=2810, device=4020)
+        assert rec.mean_ns("vfs") == 2810
+        assert rec.total_mean_ns() == 7090
+        shares = rec.shares()
+        assert shares["device"] == pytest.approx(4020 / 7090)
+        rows = rec.rows()
+        assert [name for name, _, _ in rows] == ["switch", "vfs",
+                                                 "device"]
+
+    def test_unknown_component_rejected(self):
+        rec = BreakdownRecorder(["a"])
+        with pytest.raises(KeyError):
+            rec.record(b=1)
+
+    def test_no_ops_raises(self):
+        rec = BreakdownRecorder(["a"])
+        with pytest.raises(ValueError):
+            rec.mean_ns("a")

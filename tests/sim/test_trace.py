@@ -1,0 +1,100 @@
+"""Tests for span tracing, including the measured Figure 7 breakdown."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Span, Tracer
+
+
+class TestTracerUnit:
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            Span("user", "x", 100, 50)
+
+    def test_begin_end(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        token = tracer.begin("kernel", "vfs")
+        sim.timeout(250)
+        sim.run()
+        tracer.end(token)
+        assert tracer.total_ns("kernel") == 250
+        assert tracer.by_label("kernel") == {"vfs": 250}
+
+    def test_context_manager(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        with tracer.span("device", "io"):
+            sim.timeout(77)
+            sim.run()
+        assert tracer.total_ns("device", "io") == 77
+
+    def test_by_category_and_between(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.record("a", "x", 0, 10)
+        tracer.record("a", "y", 10, 30)
+        tracer.record("b", "z", 5, 6)
+        assert tracer.by_category() == {"a": 30, "b": 1}
+        assert len(tracer.between(0, 10)) == 2
+
+    def test_clear(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.record("a", "x", 0, 1)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_null_tracer_is_silent(self):
+        NULL_TRACER.record("a", "b", 0, 1)
+        token = NULL_TRACER.begin("a")
+        NULL_TRACER.end(token)
+        with NULL_TRACER.span("a"):
+            pass
+        assert not NULL_TRACER.enabled
+
+
+class TestMeasuredBreakdown:
+    """Figure 7 / Table 1 from spans instead of constants."""
+
+    def _run_reads(self, engine_name, ops=16):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                    capture_data=False, trace=True)
+        proc = m.spawn_process()
+        from repro.baselines.registry import make_engine
+        engine = make_engine(m, proc, engine_name)
+        t = proc.new_thread()
+
+        def body():
+            from repro.apps.workload_utils import materialize_file
+            yield from materialize_file(m, proc, engine, "/f", 1 << 20)
+            f = yield from engine.open(t, "/f")
+            yield from f.pread(t, 0, 4096)  # warm
+            m.tracer.clear()
+            t0 = m.now
+            for i in range(ops):
+                yield from f.pread(t, i * 4096, 4096)
+            return (m.now - t0) / ops
+
+        total = m.run_process(body())
+        return m.tracer, total, ops
+
+    def test_sync_measured_device_share(self):
+        tracer, total, ops = self._run_reads("sync")
+        device = tracer.total_ns("device") / ops
+        syscall = tracer.total_ns("syscall") / ops
+        assert abs(syscall - total) < 5  # syscall span covers the op
+        # Table 1: device is ~51% of a sync 4KB read.
+        assert 0.47 < device / total < 0.55
+        kernel = syscall - device
+        assert abs(kernel - 3830) < 100
+
+    def test_bypassd_measured_no_kernel(self):
+        tracer, total, ops = self._run_reads("bypassd")
+        assert tracer.total_ns("syscall") == 0   # no kernel crossings
+        device = tracer.total_ns("device") / ops
+        user = tracer.total_ns("user") / ops
+        # Figure 7: almost everything is device; UserLib is tiny.
+        assert device / total > 0.9
+        assert 0 < user < 500

@@ -1,0 +1,95 @@
+"""Unit tests for the benchmark harness plumbing."""
+
+import pytest
+
+from repro.bench.report import ResultTable
+
+
+class TestResultTable:
+    def test_add_and_columns(self):
+        t = ResultTable("T", ["a", "b"])
+        t.add(1, 2.5)
+        t.add(3, 4.0)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.5, 4.0]
+
+    def test_row_arity_checked(self):
+        t = ResultTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_by(self):
+        t = ResultTable("T", ["key", "val"])
+        t.add("x", 10)
+        t.add("y", 20)
+        assert t.by("key")["y"] == ("y", 20)
+
+    def test_render_contains_everything(self):
+        t = ResultTable("My Title", ["engine", "lat"],
+                        notes="a note")
+        t.add("sync", 7.84)
+        out = t.render()
+        assert "My Title" in out
+        assert "engine" in out
+        assert "sync" in out
+        assert "7.84" in out
+        assert "a note" in out
+
+    def test_number_formatting(self):
+        t = ResultTable("T", ["v"])
+        t.add(0.00123)
+        t.add(12.3456)
+        t.add(123456.0)
+        out = t.render()
+        assert "0.001" in out
+        assert "12.35" in out
+        assert "123,456" in out
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig16" in out
+
+    def test_unknown_target(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["not-an-experiment"]) == 2
+
+    def test_run_one(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "1317" in out
+
+
+class TestStartGate:
+    def test_gate_releases_after_all_arrive(self):
+        from repro import Machine
+        from repro.apps.workload_utils import StartGate
+        from repro.sim.stats import ThroughputCounter
+
+        m = Machine(capacity_bytes=1 << 30, memory_bytes=256 << 20)
+        counter = ThroughputCounter()
+        gate = StartGate(m, expected=2, counters=[counter])
+        order = []
+
+        def worker(name, setup_ns):
+            proc = m.spawn_process(name)
+            t = proc.new_thread()
+
+            def body():
+                yield from t.compute(setup_ns)
+                yield from gate.arrive(t)
+                order.append((name, m.now))
+                t.release_core()
+
+            return body()
+
+        m.sim.process(worker("fast", 10))
+        m.sim.process(worker("slow", 5000))
+        m.run()
+        # Both released at the same instant, when the slow one arrived.
+        assert order[0][1] == order[1][1] == 5000
+        assert counter.start_ns == 5000

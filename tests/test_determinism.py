@@ -1,0 +1,57 @@
+"""The simulation must be perfectly reproducible: identical inputs give
+identical simulated timelines, down to the nanosecond."""
+
+from repro import GiB, Machine
+from repro.apps.fio import FioJob, run_fio
+from repro.apps.wiredtiger import BTreeGeometry, run_wiredtiger_ycsb
+
+
+def test_fio_run_is_deterministic():
+    def once():
+        m = Machine(capacity_bytes=2 * GiB, memory_bytes=256 << 20,
+                    capture_data=False)
+        job = FioJob(engine="bypassd", rw="randread", block_size=4096,
+                     file_size=16 << 20, threads=4, ops_per_thread=50,
+                     seed=1234)
+        r = run_fio(m, job)
+        return (r.latency.samples, r.iops, m.now)
+
+    assert once() == once()
+
+
+def test_wiredtiger_run_is_deterministic():
+    geom = BTreeGeometry(100_000)
+
+    def once():
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                    capture_data=False)
+        r = run_wiredtiger_ycsb(m, "xrp", "A", threads=2,
+                                ops_per_thread=60, geometry=geom,
+                                seed=77)
+        return (r.kops, r.mean_lat_us, r.ios, m.now)
+
+    assert once() == once()
+
+
+def test_full_stack_timeline_is_deterministic():
+    def once():
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+        proc = m.spawn_process()
+        lib = m.userlib(proc, nonblocking_writes=True)
+        t = proc.new_thread()
+        stamps = []
+
+        def body():
+            f = yield from lib.open(t, "/d", write=True, create=True)
+            yield from f.append(t, 8192, b"d" * 8192)
+            stamps.append(m.now)
+            for i in range(10):
+                yield from f.pwrite(t, (i % 2) * 4096, 4096)
+                stamps.append(m.now)
+            yield from f.fsync(t)
+            stamps.append(m.now)
+
+        m.run_process(body())
+        return stamps
+
+    assert once() == once()

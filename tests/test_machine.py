@@ -1,0 +1,72 @@
+"""Machine-level API tests."""
+
+import pytest
+
+from repro import DEFAULT_PARAMS, GiB, Machine
+
+
+def test_defaults_wire_everything():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    assert m.kernel.bypassd is m.bypassd
+    assert m.fs.extent_listener is not None
+    assert m.device.iommu is m.iommu
+    assert m.cpus.cores == DEFAULT_PARAMS.cpu_cores
+    assert not m.tracer.enabled
+
+
+def test_trace_flag():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                trace=True)
+    assert m.tracer.enabled
+    assert m.kernel.tracer is m.tracer
+    assert m.blockio.tracer is m.tracer
+
+
+def test_custom_params_propagate():
+    params = DEFAULT_PARAMS.replace(cpu_cores=4, pcie_round_trip_ns=145)
+    m = Machine(params=params, capacity_bytes=1 * GiB,
+                memory_bytes=256 << 20)
+    assert m.cpus.cores == 4
+    assert m.device.params.pcie_round_trip_ns == 145
+
+
+def test_spawn_process_binds_pasid():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    proc = m.spawn_process()
+    assert m.iommu.table_for(proc.pasid) is proc.aspace.page_table
+
+
+def test_run_until():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    m.sim.timeout(10_000)
+    assert m.run(until=5_000) == 5_000
+    assert m.now == 5_000
+
+
+def test_now_tracks_sim():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+
+    def body():
+        yield m.sim.timeout(123)
+        return m.now
+
+    assert m.run_process(body()) == 123
+
+
+def test_cache_ftes_flag():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                cache_ftes=True)
+    assert m.iommu.cache_ftes
+
+
+def test_container_helper_idempotent():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20)
+    a = m.spawn_container_process("x")
+    b = m.spawn_container_process("x")
+    assert a.chroot == b.chroot
+    assert a.pid != b.pid
+
+
+def test_version_exported():
+    import repro
+    assert repro.__version__
