@@ -18,15 +18,30 @@ from typing import Dict, Generator, Optional
 from ..fs.ext4.filesystem import FsError
 from ..kernel.process import O_CREAT, O_DIRECT, O_RDONLY, O_RDWR, Process
 from ..kernel.syscalls import Kernel
-from ..nvme.spec import Opcode
+from ..nvme.spec import Completion, Opcode
 from ..sim.cpu import CPUSet, Thread
 from ..sim.engine import Simulator
 from ..sim.resources import Store
 
-__all__ = ["IOUringEngine", "IOUringFile", "IOUringRing"]
+__all__ = ["CQEError", "IOUringEngine", "IOUringFile", "IOUringRing"]
 
 PAGE = 4096
 SECTOR = 512
+
+
+class CQEError(Exception):
+    """A reaped CQE carried an error result.
+
+    io_uring reports errors per-completion (``cqe->res`` is a negative
+    errno); this is the simulation's equivalent, raised at reap time
+    with the device completion attached.
+    """
+
+    def __init__(self, completion: Completion):
+        super().__init__(f"io_uring cqe error: res={completion.errno} "
+                         f"({completion.status})")
+        self.completion = completion
+        self.res = completion.errno  # the cqe->res field, negative errno
 
 
 class IOUringRing:
@@ -139,6 +154,8 @@ class IOUringFile:
         # wedge the machine): together with the SQ poller this is the
         # "two cores per thread" cost of Figure 9.
         completion = yield from thread.poll_leased(cq.get())
+        if not completion.ok:
+            raise CQEError(completion)
         data = completion.data
         return n, (data[:n] if data is not None else None)
 
@@ -155,7 +172,9 @@ class IOUringFile:
         ring, cq = self.engine.ring_for(thread)
         yield from thread.compute(params.io_uring_sqe_prep_ns)
         ring.submit(Opcode.WRITE, self._lba(offset), aligned, payload, cq)
-        yield from thread.poll_leased(cq.get())
+        completion = yield from thread.poll_leased(cq.get())
+        if not completion.ok:
+            raise CQEError(completion)
         return nbytes
 
     def append(self, thread: Thread, nbytes: int,

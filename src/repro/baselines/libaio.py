@@ -127,6 +127,16 @@ class LibaioFile(KernelFile):
         super().__init__(kernel, proc, fd)
         self.ctx = ctx
 
+    @staticmethod
+    def _check(completion) -> None:
+        # libaio reports errors in io_event.res as a negative errno;
+        # the sync-looking wrapper turns that into the OSError a plain
+        # read()/write() would have raised.
+        res = completion.errno
+        if res:
+            raise OSError(-res, f"libaio I/O failed: {completion.status} "
+                                f"{completion.fault_reason}")
+
     def pread(self, thread: Thread, offset: int,
               nbytes: int) -> Generator:
         n = max(0, min(nbytes, self.size - offset))
@@ -136,6 +146,7 @@ class LibaioFile(KernelFile):
         yield from self.ctx.submit(thread, [
             AioOp(self, Opcode.READ, offset, aligned)])
         completions = yield from self.ctx.get_events(thread, 1)
+        self._check(completions[0])
         data = completions[0].data
         return n, (data[:n] if data is not None else None)
 
@@ -145,7 +156,8 @@ class LibaioFile(KernelFile):
         payload = None if data is None else data + bytes(aligned - nbytes)
         yield from self.ctx.submit(thread, [
             AioOp(self, Opcode.WRITE, offset, aligned, payload)])
-        yield from self.ctx.get_events(thread, 1)
+        completions = yield from self.ctx.get_events(thread, 1)
+        self._check(completions[0])
         return nbytes
 
 

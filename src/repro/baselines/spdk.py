@@ -16,14 +16,29 @@ from typing import Dict, Generator, Optional
 
 from ..kernel.process import Process
 from ..nvme.device import DeviceBusyError, NVMeDevice
-from ..nvme.spec import AddressKind, Command, Opcode, Status
+from ..nvme.spec import AddressKind, Command, Completion, Opcode, Status
 from ..sim.cpu import Thread
 from ..sim.engine import Simulator
 
-__all__ = ["SPDKEngine", "SPDKFile"]
+__all__ = ["SPDKEngine", "SPDKError", "SPDKFile"]
 
 SECTOR = 512
 PAGE = 4096
+
+
+class SPDKError(IOError):
+    """A command completed with a non-success NVMe status.
+
+    SPDK applications see the raw CQE (``spdk_nvme_cpl``) in their
+    completion callback — no errno translation, no kernel retry — so
+    the status code itself is the API surface.
+    """
+
+    def __init__(self, completion: Completion):
+        super().__init__(f"SPDK I/O failed: {completion.status} "
+                         f"{completion.fault_reason}")
+        self.completion = completion
+        self.status = completion.status
 
 
 class SPDKFile:
@@ -125,7 +140,7 @@ class SPDKEngine:
         yield from thread.compute(params.spdk_complete_ns)
         self.ios += 1
         if completion.status is not Status.SUCCESS:
-            raise IOError(f"SPDK I/O failed: {completion.status}")
+            raise SPDKError(completion)
         return completion
 
     def raw_flush(self, thread: Thread) -> Generator:

@@ -3,6 +3,15 @@
     python -m repro.bench list
     python -m repro.bench table1 fig6 fig9
     python -m repro.bench all
+
+Fault injection applies to any experiment without code changes:
+
+    python -m repro.bench --faults seed=7,media_error_rate=0.001 fig6
+
+installs a process-wide default injector that every Machine built by
+the experiments adopts, and prints the injector's fault totals after
+the runs (the counters also land in each table's footer when the
+experiment attaches machine stats).
 """
 
 from __future__ import annotations
@@ -11,7 +20,9 @@ import argparse
 import sys
 import time
 
+from ..faults import FaultInjector, FaultPlan, set_default_injector
 from . import experiments
+from .report import ResultTable
 
 _REGISTRY = {
     "table1": experiments.table1_latency_breakdown,
@@ -36,12 +47,29 @@ _REGISTRY = {
 }
 
 
+def _fault_summary_table(injector: FaultInjector) -> ResultTable:
+    table = ResultTable(
+        "Fault injection summary",
+        ["Fault kind", "Injected"],
+        notes=f"plan seed={injector.plan.seed}; identical seeds produce "
+              "identical fault schedules")
+    for kind, count in injector.summary().items():
+        table.add(kind, count)
+    return table
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate tables/figures from the BypassD paper.")
     parser.add_argument("targets", nargs="+",
                         help="experiment names, 'list', or 'all'")
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault-injection spec applied to every machine the "
+             "experiments build, e.g. "
+             "seed=7,media_error_rate=0.001,drop_rate=0.0001 "
+             "(see repro.faults.FaultPlan.parse)")
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:
@@ -58,11 +86,27 @@ def main(argv=None) -> int:
         print(f"available: {', '.join(_REGISTRY)}", file=sys.stderr)
         return 2
 
-    for name in targets:
-        t0 = time.time()
-        table = _REGISTRY[name]()
-        table.show()
-        print(f"[{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
+    injector = None
+    if args.faults is not None:
+        try:
+            injector = FaultInjector(FaultPlan.parse(args.faults))
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        set_default_injector(injector)
+
+    try:
+        for name in targets:
+            t0 = time.time()
+            table = _REGISTRY[name]()
+            table.show()
+            print(f"[{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
+    finally:
+        if injector is not None:
+            set_default_injector(None)
+
+    if injector is not None:
+        _fault_summary_table(injector).show()
     return 0
 
 

@@ -395,6 +395,7 @@ def fig12_revocation_timeline(run_ms: int = 20,
               "after")
     for when, kiops in series.points:
         table.add(when / 1e6, kiops)
+    table.attach_counters(m.stats().summary())
     return table
 
 

@@ -19,6 +19,17 @@ class ResultTable:
     headers: Sequence[str]
     rows: List[Sequence[Any]] = field(default_factory=list)
     notes: str = ""
+    # Machine health/fault counters attached by the harness (e.g. the
+    # device's translation_faults, injected-fault totals); rendered as
+    # a footer so fault-injection runs show what the run absorbed.
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def attach_counters(self, counters: Dict[str, int],
+                        nonzero_only: bool = True) -> None:
+        for key, value in counters.items():
+            if nonzero_only and not value:
+                continue
+            self.counters[key] = self.counters.get(key, 0) + int(value)
 
     def add(self, *row: Any) -> None:
         if len(row) != len(self.headers):
@@ -63,6 +74,10 @@ class ResultTable:
         if self.notes:
             out.append("")
             out.append(self.notes)
+        if self.counters:
+            out.append("")
+            out.append("counters: " + "  ".join(
+                f"{k}={v}" for k, v in self.counters.items()))
         return "\n".join(out)
 
     def show(self) -> None:

@@ -11,7 +11,11 @@ UserLib owns the userspace half of the BypassD interface:
   and concurrent RMWs to overlapping sectors are ordered (Section 4.5.1);
 - the fault-and-fallback protocol: on a translation fault UserLib
   re-issues fmap(); a zero VBA means access was revoked and the file
-  permanently drops to the kernel interface (Section 3.6);
+  permanently drops to the kernel interface (Section 3.6).  Transient
+  device errors (media faults, host aborts) are retried with the same
+  bounded backoff the kernel driver uses before surfacing ``EIO``, and
+  lost completions are timed out and aborted so the polling thread is
+  never stranded;
 - optional optimised appends that pre-allocate with fallocate() and
   overwrite from userspace (Section 5.1).
 
@@ -24,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..hw.memory import DMABuffer, PhysicalMemory
+from ..kernel.blockio import IOError_
 from ..kernel.process import O_CREAT, O_DIRECT, O_RDONLY, O_RDWR, Process
 from ..kernel.syscalls import Kernel
 from ..nvme.device import NVMeDevice
@@ -99,6 +104,12 @@ class UserLib:
         # Async writes whose completion reported an error (e.g. access
         # revoked mid-flight); surfaced at the next fsync.
         self.async_write_errors = 0
+        # Transient device errors retried on the direct path, commands
+        # that exhausted retries, and lost completions timed out/aborted.
+        self.io_retries = 0
+        self.io_errors = 0
+        self.io_timeouts = 0
+        self.io_aborts = 0
 
     # -- setup ------------------------------------------------------------
 
@@ -251,6 +262,9 @@ class UserLib:
                       nbytes=nbytes, addr_kind=AddressKind.VBA,
                       buffer_iova=ctx.buf.iova, data=data)
         ev = self.device.submit(ctx.qp, cmd)
+        if self.device.injector.may_drop:
+            self.sim.process(self._async_abort_guard(ctx.qp, cmd, ev),
+                             name=f"userlib-timeout-{cmd.cid}")
         key = (offset, offset + nbytes)
         done = self.sim.event()
         state.pending_writes[key] = done
@@ -264,6 +278,18 @@ class UserLib:
         ev.add_callback(on_complete)
         self.direct_writes += 1
         return nbytes
+
+    def _async_abort_guard(self, qp: QueuePair, cmd: Command,
+                           ev: Event) -> Generator:
+        """Abort a non-blocking write whose completion never arrived;
+        the ABORTED CQE flows into the normal completion callback and
+        is counted as an async write error, surfaced at fsync."""
+        yield self.sim.timeout(self.params.io_timeout_ns)
+        if ev.triggered:
+            return
+        self.io_timeouts += 1
+        if self.device.abort(qp, cmd.cid):
+            self.io_aborts += 1
 
     def _wait_pending(self, thread: Thread, state: FileState,
                       offset: int, nbytes: int) -> Generator:
@@ -374,36 +400,73 @@ class UserLib:
 
     # -- submission & fault handling -----------------------------------------
 
+    def _poll_guarded(self, thread: Thread, ctx: "_ThreadCtx",
+                      cmd: Command, ev: Event) -> Generator:
+        """Poll for the completion, timing out and aborting commands the
+        device silently dropped (only armed when the fault plan can
+        drop completions, so fault-free timing is untouched)."""
+        if not self.device.injector.may_drop:
+            return (yield from thread.poll(ev))
+        while not ev.processed:
+            deadline = self.sim.timeout(self.params.io_timeout_ns)
+            yield from thread.poll(self.sim.any_of([ev, deadline]))
+            if ev.processed:
+                break
+            self.io_timeouts += 1
+            if self.device.abort(ctx.qp, cmd.cid):
+                self.io_aborts += 1
+        return ev.value
+
     def _issue(self, thread: Thread, state: FileState, opcode: Opcode,
                file_off: int, nbytes: int,
                data: Optional[bytes]) -> Generator:
         """Submit one VBA command, polling for completion.
 
         Returns the completion, or None after the kernel confirmed the
-        file is no longer directly accessible (VBA of 0).
+        file is no longer directly accessible (VBA of 0) or translation
+        faults persisted past the retry budget.  Transient device
+        errors are retried in place with bounded backoff and raise
+        :class:`IOError_` (errno ``EIO``) once exhausted — the same
+        contract the kernel path gives, so applications see one errno
+        model regardless of path.
         """
         ctx = self._ctx(thread)
         tracer = self.kernel.tracer
-        for _attempt in range(_MAX_FAULT_RETRIES):
+        fault_attempts = 0
+        error_retries = 0
+        while True:
             cmd = Command(opcode, addr=state.vba + file_off,
                           nbytes=nbytes, addr_kind=AddressKind.VBA,
                           buffer_iova=ctx.buf.iova, data=data)
             ev = self.device.submit(ctx.qp, cmd)
             token = tracer.begin("device", "direct-io")
-            completion = yield from thread.poll(ev)
+            completion = yield from self._poll_guarded(thread, ctx, cmd, ev)
             tracer.end(token)
-            if completion.status is not Status.TRANSLATION_FAULT:
+            if completion.ok:
                 return completion
-            # Revoked (or raced a truncate): ask the kernel to re-attach.
-            self.faults_handled += 1
-            vba = yield from self.kernel.sys_fmap(self.proc, thread,
-                                                  state.fd)
-            if vba == 0:
-                self._fallback(state)
-                return None
-            state.vba = vba
-        self._fallback(state)
-        return None
+            if completion.status is Status.TRANSLATION_FAULT:
+                # Revoked (or raced a truncate): ask the kernel to
+                # re-attach before giving up on the direct path.
+                self.faults_handled += 1
+                fault_attempts += 1
+                vba = yield from self.kernel.sys_fmap(self.proc, thread,
+                                                      state.fd)
+                if vba == 0 or fault_attempts >= _MAX_FAULT_RETRIES:
+                    self._fallback(state)
+                    return None
+                state.vba = vba
+                continue
+            if completion.status.retryable:
+                error_retries += 1
+                if error_retries > self.params.io_retry_limit:
+                    self.io_errors += 1
+                    raise IOError_(completion)
+                self.io_retries += 1
+                yield from thread.sleep(
+                    self.params.retry_backoff_ns(error_retries))
+                continue
+            self.io_errors += 1
+            raise IOError_(completion)
 
     def _fallback(self, state: FileState) -> None:
         """Permanently drop this open to the kernel interface."""

@@ -32,7 +32,7 @@ from .allocator import BlockAllocator, NoSpaceError
 from .directory import DirectoryTree, FileExists, FileNotFound, split_path
 from .extents import Extent, ExtentStatusCache, ExtentTree
 from .inode import FileType, Inode
-from .journal import Journal
+from .journal import Journal, replay_into
 from .superblock import FS_BLOCK_SIZE, Superblock
 
 __all__ = ["Ext4Filesystem", "NullVolume", "FsError"]
@@ -347,44 +347,6 @@ class Ext4Filesystem:
                 params: HardwareParams) -> "Ext4Filesystem":
         """Rebuild a filesystem by replaying a journal image."""
         fs = cls.mkfs(capacity_bytes, devid, params)
-        max_ino = 1
-        for op, args in records:
-            if op == "create":
-                ftype = (FileType.DIRECTORY if args["ftype"] == "directory"
-                         else FileType.REGULAR)
-                inode = Inode(args["ino"], ftype, args["mode"],
-                              args["uid"], args["gid"])
-                fs.inodes[inode.ino] = inode
-                parent = fs.inodes[args["parent"]]
-                fs.tree.link(parent, args["name"], inode)
-                max_ino = max(max_ino, args["ino"])
-            elif op == "unlink":
-                parent = fs.inodes[args["parent"]]
-                inode = fs.tree.unlink(parent, args["name"])
-                if inode.attrs.nlink == 0:
-                    for phys, count in inode.extents.truncate(0):
-                        fs.allocator.free(phys, count, deferred=False)
-                    del fs.inodes[inode.ino]
-            elif op == "extend":
-                inode = fs.inodes[args["ino"]]
-                for logical, phys, count in args["extents"]:
-                    got = fs.allocator._take_at(phys, count)
-                    if got is None or got[1] != count:
-                        raise AssertionError(
-                            f"replay: blocks ({phys},{count}) not free"
-                        )
-                    fs.allocator.allocated += count
-                    inode.extents.insert(Extent(logical, phys, count))
-            elif op == "truncate":
-                inode = fs.inodes[args["ino"]]
-                for phys, count in inode.extents.truncate(args["blocks"]):
-                    fs.allocator.free(phys, count, deferred=False)
-                inode.size = args["size"]
-            elif op == "size":
-                fs.inodes[args["ino"]].size = args["size"]
-            elif op == "times":
-                fs.inodes[args["ino"]].attrs.mtime_ns = args["mtime"]
-            else:
-                raise AssertionError(f"unknown journal record {op!r}")
+        max_ino = replay_into(fs, records)
         fs._ino = itertools.count(max_ino + 1)
         return fs

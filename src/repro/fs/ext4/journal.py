@@ -19,7 +19,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["JournalRecord", "Transaction", "Journal"]
+from .extents import Extent
+from .inode import FileType, Inode
+
+__all__ = ["JournalRecord", "Transaction", "Journal", "replay_into"]
 
 JournalRecord = Tuple[str, Dict[str, Any]]
 
@@ -109,3 +112,54 @@ class Journal:
     @property
     def committed_count(self) -> int:
         return len(self._committed)
+
+
+def replay_into(fs, records: List[JournalRecord]) -> int:
+    """Replay a journal image into a freshly made filesystem.
+
+    This is jbd2's recovery pass: records are applied strictly in log
+    order against empty metadata, so any committed prefix of history
+    reconstructs exactly the namespace/extent/allocator state that was
+    durable at the crash.  Returns the highest inode number seen so the
+    filesystem can restart its inode counter above it.
+    """
+    max_ino = 1
+    for op, args in records:
+        if op == "create":
+            ftype = (FileType.DIRECTORY if args["ftype"] == "directory"
+                     else FileType.REGULAR)
+            inode = Inode(args["ino"], ftype, args["mode"],
+                          args["uid"], args["gid"])
+            fs.inodes[inode.ino] = inode
+            parent = fs.inodes[args["parent"]]
+            fs.tree.link(parent, args["name"], inode)
+            max_ino = max(max_ino, args["ino"])
+        elif op == "unlink":
+            parent = fs.inodes[args["parent"]]
+            inode = fs.tree.unlink(parent, args["name"])
+            if inode.attrs.nlink == 0:
+                for phys, count in inode.extents.truncate(0):
+                    fs.allocator.free(phys, count, deferred=False)
+                del fs.inodes[inode.ino]
+        elif op == "extend":
+            inode = fs.inodes[args["ino"]]
+            for logical, phys, count in args["extents"]:
+                got = fs.allocator._take_at(phys, count)
+                if got is None or got[1] != count:
+                    raise AssertionError(
+                        f"replay: blocks ({phys},{count}) not free"
+                    )
+                fs.allocator.allocated += count
+                inode.extents.insert(Extent(logical, phys, count))
+        elif op == "truncate":
+            inode = fs.inodes[args["ino"]]
+            for phys, count in inode.extents.truncate(args["blocks"]):
+                fs.allocator.free(phys, count, deferred=False)
+            inode.size = args["size"]
+        elif op == "size":
+            fs.inodes[args["ino"]].size = args["size"]
+        elif op == "times":
+            fs.inodes[args["ino"]].attrs.mtime_ns = args["mtime"]
+        else:
+            raise AssertionError(f"unknown journal record {op!r}")
+    return max_ino

@@ -111,6 +111,14 @@ class HardwareParams:
     xrp_bpf_exec_ns: int = 300
     xrp_resubmit_ns: int = 900  # completion-path hook + requeue per hop
 
+    # -- host error handling (fault-injection recovery policy) ----------------
+    # Linux's nvme io_timeout is 30 s; scaled down so simulated fault
+    # runs stay cheap while remaining >> any legitimate service time.
+    io_timeout_ns: int = 5_000_000
+    io_retry_limit: int = 3  # retries after the first failed attempt
+    io_retry_backoff_ns: int = 50_000  # first backoff; doubles per retry
+    io_retry_backoff_max_ns: int = 400_000  # bound on the exponential
+
     def replace(self, **kwargs) -> "HardwareParams":
         """Return a copy with some constants overridden."""
         return dataclasses.replace(self, **kwargs)
@@ -135,6 +143,13 @@ class HardwareParams:
             + self.nvme_driver_ns
             + self.kernel_to_user_ns
         )
+
+    def retry_backoff_ns(self, attempt: int) -> int:
+        """Bounded exponential backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"retry attempts are 1-based, got {attempt}")
+        return min(self.io_retry_backoff_ns << (attempt - 1),
+                   self.io_retry_backoff_max_ns)
 
     def full_pagewalk_ns(self) -> int:
         """IOTLB miss with hot upper levels: ~3 memory references."""

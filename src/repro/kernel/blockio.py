@@ -8,10 +8,24 @@ filesystem's metadata volume.
 The kernel is trusted, so its commands carry physical addresses
 (``buffer_iova=0`` skips the device's per-process buffer validation)
 and kernel queues use PASID 0.
+
+Error handling mirrors the Linux nvme driver:
+
+- every synchronous command is guarded by a timeout
+  (``params.io_timeout_ns``); on expiry the driver aborts the command,
+  which flushes an ABORTED completion out of a device that dropped the
+  CQE (the timeout wait is only armed when the machine's fault plan can
+  actually drop completions, so fault-free timing is untouched);
+- transient error completions (media errors, aborts) are retried up to
+  ``params.io_retry_limit`` times with bounded exponential backoff;
+- exhausted retries and permanent errors surface as :class:`IOError_`,
+  an ``OSError`` whose ``errno`` is what the syscall would return
+  (``EIO`` for media failures) — callers up the stack see ``-EIO``.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 from typing import Dict, Generator, Optional
 
 from ..hw.params import HardwareParams
@@ -19,7 +33,7 @@ from ..nvme.device import NVMeDevice
 from ..nvme.queues import QueuePair
 from ..nvme.spec import Command, Completion, Opcode
 from ..sim.cpu import Thread
-from ..sim.engine import Simulator
+from ..sim.engine import Event, Simulator
 
 __all__ = ["BlockIOLayer", "KernelVolume", "IOError_"]
 
@@ -27,12 +41,18 @@ FS_BLOCK = 4096
 _BLOCKS_PER_PAGE = FS_BLOCK // 512
 
 
-class IOError_(Exception):
-    """Device returned an error status to a kernel-issued command."""
+class IOError_(OSError):
+    """Device returned an error status to a kernel-issued command.
+
+    An ``OSError`` so the errno convention holds end to end: the
+    device's CQE status maps to ``completion.errno`` (e.g. ``-EIO``)
+    and this exception carries the positive ``errno`` Python expects.
+    """
 
     def __init__(self, completion: Completion):
-        super().__init__(f"I/O failed: {completion.status} "
-                         f"{completion.fault_reason}")
+        err = -completion.errno if completion.errno else _errno.EIO
+        super().__init__(err, f"I/O failed: {completion.status} "
+                              f"{completion.fault_reason}")
         self.completion = completion
 
 
@@ -46,6 +66,10 @@ class BlockIOLayer:
         self.device = device
         self._queues: Dict[int, QueuePair] = {}
         self.requests = 0
+        self.timeouts = 0
+        self.aborts = 0
+        self.retries = 0
+        self.io_errors = 0
         from ..sim.trace import NULL_TRACER
         self.tracer = NULL_TRACER
 
@@ -57,6 +81,55 @@ class BlockIOLayer:
             self._queues[key] = qp
         return qp
 
+    # -- timeout / abort / retry machinery -------------------------------------
+
+    def _wait_guarded(self, thread: Thread, qp: QueuePair, cmd: Command,
+                      ev: Event) -> Generator:
+        """Block until the completion, arming the driver timeout when
+        the fault plan can swallow CQEs."""
+        if not self.device.injector.may_drop:
+            return (yield from thread.block(ev))
+        timeout_ns = self.params.io_timeout_ns
+        while not ev.processed:
+            deadline = self.sim.timeout(timeout_ns)
+            yield from thread.block(self.sim.any_of([ev, deadline]))
+            if ev.processed:
+                break
+            self.timeouts += 1
+            if self.device.abort(qp, cmd.cid):
+                self.aborts += 1
+            # If the abort missed (the command is alive, just slow),
+            # keep waiting — the completion must eventually arrive.
+        return ev.value
+
+    def _rw(self, thread: Thread, opcode: Opcode, lba512: int,
+            nbytes: int, data: Optional[bytes], charge_layers: bool,
+            charge_irq: bool) -> Generator:
+        """Submit + wait with the full retry policy; returns read data."""
+        if charge_layers:
+            yield from thread.compute(self.params.block_layer_ns)
+            yield from thread.compute(self.params.nvme_driver_ns)
+        qp = self._queue_for(thread)
+        attempt = 0
+        while True:
+            cmd = Command(opcode, addr=lba512, nbytes=nbytes, data=data)
+            self.requests += 1
+            ev = self.device.submit(qp, cmd)
+            token = self.tracer.begin("device", "kernel-io")
+            completion = yield from self._wait_guarded(thread, qp, cmd, ev)
+            self.tracer.end(token)
+            if charge_irq and self.params.irq_completion_ns:
+                yield from thread.compute(self.params.irq_completion_ns)
+            if completion.ok:
+                return completion.data
+            if not completion.status.retryable \
+                    or attempt >= self.params.io_retry_limit:
+                self.io_errors += 1
+                raise IOError_(completion)
+            attempt += 1
+            self.retries += 1
+            yield from thread.sleep(self.params.retry_backoff_ns(attempt))
+
     # -- thread-accounted path (syscalls) -------------------------------------
 
     def rw_fsblocks(self, thread: Thread, opcode: Opcode, fs_block: int,
@@ -67,27 +140,29 @@ class BlockIOLayer:
         Charges the block-layer and driver CPU costs, then sleeps until
         the interrupt-driven completion.
         """
-        if charge_layers:
-            yield from thread.compute(self.params.block_layer_ns)
-            yield from thread.compute(self.params.nvme_driver_ns)
-        qp = self._queue_for(thread)
-        cmd = Command(opcode, addr=fs_block * _BLOCKS_PER_PAGE,
-                      nbytes=count * FS_BLOCK, data=data)
-        self.requests += 1
-        ev = self.device.submit(qp, cmd)
-        token = self.tracer.begin("device", "kernel-io")
-        completion = yield from thread.block(ev)
-        self.tracer.end(token)
-        if self.params.irq_completion_ns:
-            yield from thread.compute(self.params.irq_completion_ns)
-        if not completion.ok:
-            raise IOError_(completion)
-        return completion.data
+        return (yield from self._rw(thread, opcode,
+                                    fs_block * _BLOCKS_PER_PAGE,
+                                    count * FS_BLOCK, data, charge_layers,
+                                    charge_irq=True))
 
     def rw_bytes(self, thread: Thread, opcode: Opcode, lba512: int,
                  nbytes: int, data: Optional[bytes] = None,
                  charge_layers: bool = True) -> Generator:
         """512 B-granular transfer (sub-block I/O, XRP hops)."""
+        return (yield from self._rw(thread, opcode, lba512, nbytes, data,
+                                    charge_layers, charge_irq=False))
+
+    def submit_async(self, thread: Thread, opcode: Opcode, lba512: int,
+                     nbytes: int, data: Optional[bytes] = None,
+                     charge_layers: bool = True) -> Generator:
+        """Charge the submission-side CPU and return the completion
+        event without waiting (libaio / io_uring style).
+
+        Async submitters get no driver retry — errors surface through
+        their own reaping API (errno in the io_event, CQE status) — but
+        they do get the timeout/abort guard, otherwise a dropped
+        completion would strand the reaper forever.
+        """
         if charge_layers:
             yield from thread.compute(self.params.block_layer_ns)
             yield from thread.compute(self.params.nvme_driver_ns)
@@ -95,31 +170,27 @@ class BlockIOLayer:
         cmd = Command(opcode, addr=lba512, nbytes=nbytes, data=data)
         self.requests += 1
         ev = self.device.submit(qp, cmd)
-        token = self.tracer.begin("device", "kernel-io")
-        completion = yield from thread.block(ev)
-        self.tracer.end(token)
-        if not completion.ok:
-            raise IOError_(completion)
-        return completion.data
+        if self.device.injector.may_drop:
+            self.sim.process(self._async_abort_guard(qp, cmd, ev),
+                             name=f"nvme-timeout-{cmd.cid}")
+        return ev
 
-    def submit_async(self, thread: Thread, opcode: Opcode, lba512: int,
-                     nbytes: int, data: Optional[bytes] = None,
-                     charge_layers: bool = True) -> Generator:
-        """Charge the submission-side CPU and return the completion
-        event without waiting (libaio / io_uring style)."""
-        if charge_layers:
-            yield from thread.compute(self.params.block_layer_ns)
-            yield from thread.compute(self.params.nvme_driver_ns)
-        qp = self._queue_for(thread)
-        cmd = Command(opcode, addr=lba512, nbytes=nbytes, data=data)
-        self.requests += 1
-        return self.device.submit(qp, cmd)
+    def _async_abort_guard(self, qp: QueuePair, cmd: Command,
+                           ev: Event) -> Generator:
+        yield self.sim.timeout(self.params.io_timeout_ns)
+        if ev.triggered:
+            return
+        self.timeouts += 1
+        if self.device.abort(qp, cmd.cid):
+            self.aborts += 1
 
     def flush(self, thread: Thread) -> Generator:
         qp = self._queue_for(thread)
-        ev = self.device.submit(qp, Command(Opcode.FLUSH, addr=0, nbytes=0))
-        completion = yield from thread.block(ev)
+        cmd = Command(Opcode.FLUSH, addr=0, nbytes=0)
+        ev = self.device.submit(qp, cmd)
+        completion = yield from self._wait_guarded(thread, qp, cmd, ev)
         if not completion.ok:
+            self.io_errors += 1
             raise IOError_(completion)
 
 
@@ -129,7 +200,9 @@ class KernelVolume:
     Metadata I/O runs inside a syscall on the calling thread's time;
     the filesystem code does not carry a thread reference, so volume
     operations wait on the raw completion event (the enclosing syscall
-    has already charged the CPU layers).
+    has already charged the CPU layers).  The timeout/abort/retry
+    policy matches :class:`BlockIOLayer` — metadata must survive the
+    same injected faults as data.
     """
 
     block_size = FS_BLOCK
@@ -142,29 +215,57 @@ class KernelVolume:
         self._qp: Optional[QueuePair] = None
         self.meta_reads = 0
         self.meta_writes = 0
+        self.timeouts = 0
+        self.aborts = 0
+        self.retries = 0
+        self.io_errors = 0
 
     def _queue(self) -> QueuePair:
         if self._qp is None:
             self._qp = self.device.create_queue_pair(pasid=0, depth=1024)
         return self._qp
 
+    def _submit_guarded(self, opcode: Opcode, addr: int, nbytes: int,
+                        data: Optional[bytes] = None) -> Generator:
+        qp = self._queue()
+        attempt = 0
+        while True:
+            cmd = Command(opcode, addr=addr, nbytes=nbytes, data=data)
+            ev = self.device.submit(qp, cmd)
+            if not self.device.injector.may_drop:
+                completion = yield ev
+            else:
+                while not ev.processed:
+                    deadline = self.sim.timeout(self.params.io_timeout_ns)
+                    yield self.sim.any_of([ev, deadline])
+                    if ev.processed:
+                        break
+                    self.timeouts += 1
+                    if self.device.abort(qp, cmd.cid):
+                        self.aborts += 1
+                completion = ev.value
+            if completion.ok:
+                return completion
+            if not completion.status.retryable \
+                    or attempt >= self.params.io_retry_limit:
+                self.io_errors += 1
+                raise IOError_(completion)
+            attempt += 1
+            self.retries += 1
+            yield self.sim.timeout(self.params.retry_backoff_ns(attempt))
+
     def read_blocks(self, block: int, count: int) -> Generator:
         self.meta_reads += 1
-        cmd = Command(Opcode.READ, addr=block * _BLOCKS_PER_PAGE,
-                      nbytes=count * FS_BLOCK)
-        completion = yield self.device.submit(self._queue(), cmd)
-        if not completion.ok:
-            raise IOError_(completion)
+        completion = yield from self._submit_guarded(
+            Opcode.READ, block * _BLOCKS_PER_PAGE, count * FS_BLOCK)
         return completion.data
 
     def write_blocks(self, block: int, count: int,
                      data: Optional[bytes] = None) -> Generator:
         self.meta_writes += 1
-        cmd = Command(Opcode.WRITE, addr=block * _BLOCKS_PER_PAGE,
-                      nbytes=count * FS_BLOCK, data=data)
-        completion = yield self.device.submit(self._queue(), cmd)
-        if not completion.ok:
-            raise IOError_(completion)
+        yield from self._submit_guarded(
+            Opcode.WRITE, block * _BLOCKS_PER_PAGE, count * FS_BLOCK,
+            data=data)
 
     def zero_blocks(self, block: int, count: int) -> Generator:
         """Zero newly allocated blocks (Section 4.1 security rule)."""
@@ -174,7 +275,4 @@ class KernelVolume:
         yield self.sim.timeout(self.params.block_zero_ns_per_kb * kb)
 
     def flush(self) -> Generator:
-        cmd = Command(Opcode.FLUSH, addr=0, nbytes=0)
-        completion = yield self.device.submit(self._queue(), cmd)
-        if not completion.ok:
-            raise IOError_(completion)
+        yield from self._submit_guarded(Opcode.FLUSH, 0, 0)

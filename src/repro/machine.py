@@ -19,14 +19,27 @@ run workload generators against simulated time.
         yield from f.close(thread)
 
     machine.run_process(workload)
+
+Fault injection (``repro.faults``) plugs in through the ``faults=``
+argument: a :class:`~repro.faults.FaultPlan` (or a CLI-style spec
+string) arms the device's injector, and a planned power failure makes
+the run raise :class:`~repro.faults.PowerFailure`, after which
+:meth:`Machine.recover_after_crash` replays the journal and fscks the
+result.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, List, Optional, Union
 
 from .core.fmap import FmapManager
 from .core.userlib import UserLib
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    PowerFailure,
+    default_injector,
+)
 from .fs.ext4.filesystem import Ext4Filesystem
 from .hw.iommu import IOMMU
 from .hw.memory import PhysicalMemory
@@ -38,6 +51,7 @@ from .kernel.syscalls import Kernel
 from .nvme.device import NVMeDevice
 from .sim.cpu import CPUSet
 from .sim.engine import Simulator
+from .sim.stats import Stats
 from .sim.trace import NULL_TRACER, Tracer
 
 __all__ = ["Machine"]
@@ -52,17 +66,22 @@ class Machine:
                  capture_data: bool = True,
                  cache_ftes: bool = False,
                  page_cache_pages: Optional[int] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 faults: Union[FaultPlan, FaultInjector, str, None] = None):
         self.params = params if params is not None else DEFAULT_PARAMS
         self.sim = Simulator()
         self.tracer = Tracer(self.sim) if trace else NULL_TRACER
+        self.faults = self._resolve_injector(faults)
+        self.faults.tracer = self.tracer
         self.cpus = CPUSet(self.sim, self.params.cpu_cores)
         self.memory = PhysicalMemory(memory_bytes)
         self.iommu = IOMMU(self.params, cache_ftes=cache_ftes)
         self.device = NVMeDevice(self.sim, self.params, self.iommu,
                                  devid=1, capacity_bytes=capacity_bytes,
-                                 capture_data=capture_data)
+                                 capture_data=capture_data,
+                                 injector=self.faults)
         self.volume = KernelVolume(self.sim, self.params, self.device)
+        self._capacity_bytes = capacity_bytes
         self.fs = Ext4Filesystem.mkfs(capacity_bytes, devid=1,
                                       params=self.params)
         self.fs.mount(self.volume, now_fn=lambda: self.sim.now)
@@ -77,6 +96,32 @@ class Machine:
         self.bypassd = FmapManager(self.sim, self.params, self.fs,
                                    self.iommu)
         self.kernel.bypassd = self.bypassd
+        self._userlibs: List[UserLib] = []
+        self.crashed = False
+        if self.faults.plan.crash_at_ns is not None:
+            self.sim.process(self._power_fail(self.faults.plan.crash_at_ns),
+                             name="power-fail")
+
+    @staticmethod
+    def _resolve_injector(faults) -> FaultInjector:
+        if isinstance(faults, FaultInjector):
+            return faults
+        if isinstance(faults, FaultPlan):
+            return FaultInjector(faults)
+        if isinstance(faults, str):
+            return FaultInjector(FaultPlan.parse(faults))
+        ambient = default_injector()
+        if ambient is not None:
+            return ambient
+        return FaultInjector(FaultPlan())
+
+    def _power_fail(self, at_ns: int) -> Generator:
+        """Pull the plug at the planned instant: every in-flight event
+        is abandoned and the run raises :class:`PowerFailure`."""
+        yield self.sim.timeout(at_ns)
+        self.crashed = True
+        self.faults.record_crash(self.sim.now)
+        raise PowerFailure(self.sim.now)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -107,9 +152,11 @@ class Machine:
     def userlib(self, proc: Process,
                 optimized_appends: bool = False,
                 nonblocking_writes: bool = False) -> UserLib:
-        return UserLib(self.sim, proc, self.kernel, self.device,
-                       self.memory, optimized_appends=optimized_appends,
-                       nonblocking_writes=nonblocking_writes)
+        lib = UserLib(self.sim, proc, self.kernel, self.device,
+                      self.memory, optimized_appends=optimized_appends,
+                      nonblocking_writes=nonblocking_writes)
+        self._userlibs.append(lib)
+        return lib
 
     # -- running -------------------------------------------------------------
 
@@ -128,3 +175,24 @@ class Machine:
         """Start a workload on ``thread``; the core is released when it
         finishes (see :meth:`repro.sim.cpu.Thread.run`)."""
         return self.sim.process(thread.run(gen), name=name or thread.name)
+
+    # -- fault accounting / recovery -----------------------------------------
+
+    def stats(self) -> Stats:
+        """Aggregate fault/recovery counters across every layer."""
+        return Stats.from_machine(self)
+
+    def recover_after_crash(self) -> Ext4Filesystem:
+        """Journal replay plus fsck after a :class:`PowerFailure`.
+
+        Returns the recovered filesystem (a fresh instance — the
+        crashed machine's in-memory state is gone, exactly like a
+        reboot).  Raises ``AssertionError`` if the replayed metadata is
+        inconsistent.
+        """
+        records = self.fs.crash_image()
+        recovered = Ext4Filesystem.recover(records, self._capacity_bytes,
+                                           devid=self.fs.devid,
+                                           params=self.params)
+        recovered.fsck()
+        return recovered

@@ -26,6 +26,8 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator, List, Optional, Tuple
 
+from ..faults.injector import NO_FAULTS, FaultInjector
+from ..faults.plan import FaultKind
 from ..hw.iommu import IOMMU, TranslationFault
 from ..hw.params import HardwareParams
 from ..hw.pcie import PCIeLink
@@ -59,11 +61,13 @@ class NVMeDevice:
     def __init__(self, sim: Simulator, params: HardwareParams, iommu: IOMMU,
                  devid: int = 1, capacity_bytes: int = 1 << 40,
                  capture_data: bool = True,
-                 arbiter: Optional[RoundRobinArbiter] = None):
+                 arbiter: Optional[RoundRobinArbiter] = None,
+                 injector: Optional[FaultInjector] = None):
         self.sim = sim
         self.params = params
         self.iommu = iommu
         self.devid = devid
+        self.injector = injector if injector is not None else NO_FAULTS
         self.link = PCIeLink(params)
         self.backend = MediaBackend(params, capacity_bytes,
                                     capture_data=capture_data)
@@ -73,8 +77,14 @@ class NVMeDevice:
         self._work = Store(sim)
         self._translated = Store(sim)  # VBA reads whose LBA is resolved
         self._xfer_link = Resource(sim, 1)
+        # Commands whose completion the injector swallowed, keyed by
+        # (qid, cid): the host's only way out is abort().
+        self._lost: Dict[Tuple[int, int], Tuple[QueuePair, Command]] = {}
         self.exclusive_owner: Optional[str] = None
         self.commands_served = 0
+        self.commands_failed = 0
+        self.commands_aborted = 0
+        self.dropped_completions = 0
         self.translation_faults = 0
         for idx in range(params.device_channels):
             sim.process(self._channel_loop(), name=f"nvme{devid}-ch{idx}")
@@ -130,6 +140,24 @@ class NVMeDevice:
         self._work.put((qp.qid, cmd.cid))
         return ev
 
+    def abort(self, qp: QueuePair, cid: int) -> bool:
+        """Host abort (the driver's timeout path).
+
+        If the device lost the command (an injected dropped
+        completion), an ABORTED completion is posted and the waiter's
+        event finally triggers.  Returns False when the command is not
+        held by the device — it either completed already or is still
+        making progress, in which case the host keeps waiting.
+        """
+        entry = self._lost.pop((qp.qid, cid), None)
+        if entry is None:
+            return False
+        lost_qp, cmd = entry
+        self.commands_aborted += 1
+        self._complete(lost_qp, cmd, Status.ABORTED,
+                       reason="aborted by host after timeout")
+        return True
+
     # -- device internals ---------------------------------------------------
 
     def _channel_loop(self) -> Generator[Event, object, None]:
@@ -164,9 +192,18 @@ class NVMeDevice:
             self._complete(qp, cmd, fault[0], reason=fault[1])
             return
 
+        inj = self.injector
         translation_ns = 0
         segments: Optional[List[Tuple[int, int]]] = None
         if cmd.addr_kind is AddressKind.VBA:
+            if inj.active and inj.translation_fault(sim.now):
+                # Spurious ATS refusal: same error completion as a real
+                # fault, and like one it never touches media.  UserLib
+                # reacts with re-fmap, then kernel-path fallback.
+                self.translation_faults += 1
+                self._complete(qp, cmd, Status.TRANSLATION_FAULT,
+                               reason="injected translation fault")
+                return
             try:
                 ats = self.iommu.translate_vba(
                     qp.pasid, cmd.addr, cmd.nbytes,
@@ -186,6 +223,25 @@ class NVMeDevice:
             if not self.backend.check_range(lba, nblocks):
                 self._complete(qp, cmd, Status.LBA_OUT_OF_RANGE,
                                reason=f"lba {lba} x{nblocks}")
+                return
+
+        if inj.active:
+            spike_ns, terminal = inj.media_verdict(cmd.is_write, segments,
+                                                   sim.now)
+            if spike_ns:
+                # Slow command: correct result, pathological latency.
+                yield sim.timeout(spike_ns)
+            if terminal is FaultKind.DROP_COMPLETION:
+                # The CQE evaporates; the command sits in device limbo
+                # until the host times out and aborts it.
+                self.dropped_completions += 1
+                self._lost[(qp.qid, cmd.cid)] = (qp, cmd)
+                return
+            if terminal is not None:
+                status = (Status.MEDIA_WRITE_FAULT if cmd.is_write
+                          else Status.MEDIA_READ_ERROR)
+                self._complete(qp, cmd, status,
+                               reason=f"injected {terminal.value}")
                 return
 
         # Validate the host DMA buffer through the IOMMU (cheap; IOTLB-hot).
@@ -309,7 +365,13 @@ class NVMeDevice:
     def _complete(self, qp: QueuePair, cmd: Command, status: Status,
                   data: Optional[bytes] = None, nbytes: int = 0,
                   reason: str = "") -> None:
-        self.commands_served += 1
+        # Error completions are not "served": a faulted command did no
+        # useful work (and touched no media), so the two counters let
+        # tests assert both halves independently.
+        if status.ok:
+            self.commands_served += 1
+        else:
+            self.commands_failed += 1
         completion = Completion(cid=cmd.cid, status=status, data=data,
                                 fault_reason=reason)
         qp.post_completion(completion, nbytes=nbytes)

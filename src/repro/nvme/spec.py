@@ -10,6 +10,7 @@ device must have translated by the IOMMU before accessing media
 from __future__ import annotations
 
 import enum
+import errno as _errno
 import itertools
 from dataclasses import dataclass, field
 from typing import Optional
@@ -39,7 +40,14 @@ class Opcode(enum.Enum):
 class Status(enum.Enum):
     SUCCESS = 0x0
     INVALID_FIELD = 0x2
+    # Command Abort Requested: the host timed out and aborted the
+    # command (NVMe 1.4 generic status 0x7).
+    ABORTED = 0x7
     LBA_OUT_OF_RANGE = 0x80
+    # Media and Data Integrity errors (NVMe status code type 2): the
+    # fault injector uses these for device-side media failures.
+    MEDIA_WRITE_FAULT = 0x280
+    MEDIA_READ_ERROR = 0x281
     # BypassD: the IOMMU refused the VBA translation; the SSD returns an
     # error code to the process without touching media (Section 5.3).
     TRANSLATION_FAULT = 0x1C1
@@ -47,6 +55,17 @@ class Status(enum.Enum):
     @property
     def ok(self) -> bool:
         return self is Status.SUCCESS
+
+    @property
+    def retryable(self) -> bool:
+        """Transient by NVMe semantics: a host-side retry may succeed.
+
+        Translation faults are *not* retryable here — the BypassD
+        recovery for those is re-issuing fmap(), not resubmitting the
+        same command (Section 3.6).
+        """
+        return self in (Status.MEDIA_READ_ERROR, Status.MEDIA_WRITE_FAULT,
+                        Status.ABORTED)
 
 
 class AddressKind(enum.Enum):
@@ -95,3 +114,16 @@ class Completion:
     @property
     def ok(self) -> bool:
         return self.status.ok
+
+    @property
+    def errno(self) -> int:
+        """The negative errno a POSIX layer reports for this CQE
+        (0 on success); what libaio puts in ``io_event.res`` and the
+        syscall layer returns as ``-EIO`` and friends."""
+        if self.status.ok:
+            return 0
+        if self.status is Status.INVALID_FIELD:
+            return -_errno.EINVAL
+        if self.status is Status.TRANSLATION_FAULT:
+            return -_errno.EFAULT
+        return -_errno.EIO

@@ -17,6 +17,7 @@ __all__ = [
     "ThroughputCounter",
     "TimeSeries",
     "BreakdownRecorder",
+    "Stats",
     "percentile",
 ]
 
@@ -201,3 +202,91 @@ class BreakdownRecorder:
         """(component, mean ns, share) rows like Table 1."""
         shares = self.shares()
         return [(c, self.mean_ns(c), shares[c]) for c in self.components]
+
+
+@dataclass
+class Stats:
+    """Machine-wide health and fault-handling counters.
+
+    One snapshot of everything the robustness paths count: device-side
+    command outcomes, kernel-driver recovery actions, UserLib's
+    fault-and-fallback protocol, and the injector's own record of what
+    it inflicted.  Built duck-typed from a machine so this module stays
+    free of model imports.
+    """
+
+    commands_served: int = 0
+    commands_failed: int = 0
+    commands_aborted: int = 0
+    dropped_completions: int = 0
+    translation_faults: int = 0
+    driver_timeouts: int = 0
+    driver_aborts: int = 0
+    driver_retries: int = 0
+    driver_io_errors: int = 0
+    userlib_faults_handled: int = 0
+    userlib_kernel_fallbacks: int = 0
+    userlib_io_retries: int = 0
+    userlib_io_errors: int = 0
+    userlib_io_timeouts: int = 0
+    userlib_async_write_errors: int = 0
+    crashes: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_machine(cls, machine) -> "Stats":
+        dev = machine.device
+        driver_layers = [machine.blockio, machine.volume]
+        libs = getattr(machine, "_userlibs", [])
+        return cls(
+            commands_served=dev.commands_served,
+            commands_failed=dev.commands_failed,
+            commands_aborted=dev.commands_aborted,
+            dropped_completions=dev.dropped_completions,
+            translation_faults=dev.translation_faults,
+            driver_timeouts=sum(x.timeouts for x in driver_layers),
+            driver_aborts=sum(x.aborts for x in driver_layers),
+            driver_retries=sum(x.retries for x in driver_layers),
+            driver_io_errors=sum(x.io_errors for x in driver_layers),
+            userlib_faults_handled=sum(x.faults_handled for x in libs),
+            userlib_kernel_fallbacks=sum(x.kernel_fallbacks for x in libs),
+            userlib_io_retries=sum(x.io_retries for x in libs),
+            userlib_io_errors=sum(x.io_errors for x in libs),
+            userlib_io_timeouts=sum(x.io_timeouts for x in libs),
+            userlib_async_write_errors=sum(x.async_write_errors
+                                           for x in libs),
+            crashes=1 if getattr(machine, "crashed", False) else 0,
+            injected=machine.faults.summary(),
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Flat counter dict, injector counts prefixed ``injected_``.
+
+        Deterministic key order; two same-seed runs must compare equal
+        key for key (the acceptance criterion for reproducible fault
+        schedules).
+        """
+        out: Dict[str, int] = {
+            "commands_served": self.commands_served,
+            "commands_failed": self.commands_failed,
+            "commands_aborted": self.commands_aborted,
+            "dropped_completions": self.dropped_completions,
+            "translation_faults": self.translation_faults,
+            "driver_timeouts": self.driver_timeouts,
+            "driver_aborts": self.driver_aborts,
+            "driver_retries": self.driver_retries,
+            "driver_io_errors": self.driver_io_errors,
+            "userlib_faults_handled": self.userlib_faults_handled,
+            "userlib_kernel_fallbacks": self.userlib_kernel_fallbacks,
+            "userlib_io_retries": self.userlib_io_retries,
+            "userlib_io_errors": self.userlib_io_errors,
+            "userlib_io_timeouts": self.userlib_io_timeouts,
+            "userlib_async_write_errors": self.userlib_async_write_errors,
+            "crashes": self.crashes,
+        }
+        for kind, n in sorted(self.injected.items()):
+            out[f"injected_{kind}"] = n
+        return out
+
+    def nonzero(self) -> Dict[str, int]:
+        return {k: v for k, v in self.summary().items() if v}

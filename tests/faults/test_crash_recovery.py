@@ -1,0 +1,111 @@
+"""Planned power failures: the crash interrupts the run as a
+:class:`PowerFailure`, journal replay + fsck recover the filesystem,
+fsynced state survives and the uncommitted tail evaporates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GiB, Machine
+from repro.faults import FaultPlan, PowerFailure
+from repro.kernel.process import O_CREAT, O_RDWR
+
+
+def machine(plan):
+    return Machine(faults=plan, capacity_bytes=1 * GiB,
+                   memory_bytes=128 << 20)
+
+
+def metadata_workload(m, nfiles=30, fsync_every=3):
+    """Create/allocate/fsync/unlink churn.  Returns (generator,
+    durable, ever_unlinked): ``durable`` snapshots the live file set
+    each time an fsync RETURNS, so it always under-approximates what
+    the journal committed before the crash."""
+    proc = m.spawn_process("meta")
+    t = proc.new_thread()
+    durable = []
+    created = []
+    ever_unlinked = set()
+
+    def body():
+        for i in range(nfiles):
+            name = f"/f{i}"
+            fd = yield from m.kernel.sys_open(proc, t, name,
+                                             O_RDWR | O_CREAT)
+            yield from m.kernel.sys_fallocate(proc, t, fd, 0, 4 * 4096)
+            created.append(name)
+            if i % 7 == 3 and len(created) > 1:
+                victim = created[-2]
+                yield from m.kernel.sys_unlink(proc, t, victim)
+                created.remove(victim)
+                ever_unlinked.add(victim)
+            if (i + 1) % fsync_every == 0:
+                yield from m.kernel.sys_fsync(proc, t, fd)
+                durable[:] = created  # fsync committed everything so far
+            yield from m.kernel.sys_close(proc, t, fd)
+
+    return t.run(body()), durable, ever_unlinked
+
+
+def test_power_failure_interrupts_the_run():
+    m = machine(FaultPlan().crash_at(2_000_000))
+    gen, durable, _ = metadata_workload(m)
+    with pytest.raises(PowerFailure) as exc_info:
+        m.run_process(gen)
+    assert exc_info.value.at_ns == 2_000_000
+    assert m.now == 2_000_000      # time stops at the crash
+    assert m.crashed
+    assert m.faults.summary()["power_failure"] == 1
+    assert m.stats().crashes == 1
+
+
+def test_recovery_is_fsck_clean_and_keeps_fsynced_files():
+    m = machine(FaultPlan().crash_at(2_000_000))
+    gen, durable, ever_unlinked = metadata_workload(m)
+    with pytest.raises(PowerFailure):
+        m.run_process(gen)
+    assert durable, "crash point too early: nothing was fsynced"
+    recovered = m.recover_after_crash()   # fsck runs inside
+    for name in durable:
+        if name in ever_unlinked:
+            continue
+        assert recovered.exists(name)
+        assert recovered.lookup(name).mapped_blocks == 4
+
+
+def test_uncommitted_tail_is_lost():
+    m = machine(FaultPlan().crash_at(5_000_000))
+    proc = m.spawn_process()
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, "/a",
+                                          O_RDWR | O_CREAT)
+        yield from m.kernel.sys_fsync(proc, t, fd)
+        yield from m.kernel.sys_close(proc, t, fd)
+        yield from m.kernel.sys_open(proc, t, "/b", O_RDWR | O_CREAT)
+        yield from t.sleep(60_000_000)  # crash fires mid-sleep
+
+    with pytest.raises(PowerFailure):
+        m.run_process(t.run(body()))
+    recovered = m.recover_after_crash()
+    assert recovered.exists("/a")        # committed by the fsync
+    assert not recovered.exists("/b")    # only in the running txn
+
+
+class TestCrashAnywhere:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=10_000, max_value=8_000_000))
+    def test_recovery_always_consistent(self, crash_ns):
+        """Property: whatever instant the power fails at, replay + fsck
+        succeed and every file whose fsync returned (and that was never
+        unlinked) is present with its allocated geometry."""
+        m = machine(FaultPlan().crash_at(crash_ns))
+        gen, durable, ever_unlinked = metadata_workload(m)
+        with pytest.raises(PowerFailure):
+            m.run_process(gen)
+        recovered = m.recover_after_crash()
+        for name in durable:
+            if name in ever_unlinked:
+                continue
+            assert recovered.exists(name)
+            assert recovered.lookup(name).mapped_blocks == 4

@@ -1,0 +1,110 @@
+"""NVMe-layer fault injection: error completions without media access,
+latency spikes, dropped completions and the host abort path."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.faults import FaultPlan
+from repro.nvme.spec import Command, Opcode, Status
+
+
+def small(plan):
+    return Machine(faults=plan, capacity_bytes=1 * GiB,
+                   memory_bytes=64 << 20)
+
+
+def raw_rw(m, opcode=Opcode.READ, lba=0, nbytes=4096, qp=None):
+    qp = qp or m.device.create_queue_pair(pasid=0)
+    cmd = Command(opcode, addr=lba, nbytes=nbytes,
+                  data=b"x" * nbytes if opcode is Opcode.WRITE else None)
+    ev = m.device.submit(qp, cmd)
+    completion = m.run_process(_wait(ev))
+    return completion, qp, cmd
+
+
+def _wait(ev):
+    value = yield ev
+    return value
+
+
+def test_media_read_error_completion_without_media_access():
+    m = small(FaultPlan().media_read_errors(nth=1))
+    # Prime the block so a healthy read WOULD touch media.
+    raw_rw(m, Opcode.WRITE)
+    reads_before = m.device.backend.reads
+    completion, _, _ = raw_rw(m, Opcode.READ)
+    assert completion.status is Status.MEDIA_READ_ERROR
+    assert not completion.ok
+    assert m.device.backend.reads == reads_before  # media untouched
+    assert m.device.commands_failed == 1
+    assert m.device.commands_served == 1  # just the priming write
+
+
+def test_media_write_fault_is_write_specific():
+    m = small(FaultPlan().media_write_errors(nth=1, count=100))
+    read_c, qp, _ = raw_rw(m, Opcode.READ)
+    assert read_c.ok  # reads sail through a write-error plan
+    write_c, _, _ = raw_rw(m, Opcode.WRITE, qp=qp)
+    assert write_c.status is Status.MEDIA_WRITE_FAULT
+    assert m.device.backend.writes == 0
+
+
+def test_error_completion_carries_errno():
+    import errno
+    m = small(FaultPlan().media_read_errors(nth=1))
+    completion, _, _ = raw_rw(m, Opcode.READ)
+    assert completion.errno == -errno.EIO
+
+
+def test_latency_spike_delays_but_succeeds():
+    spike = 2_000_000
+    base = Machine(capacity_bytes=1 * GiB, memory_bytes=64 << 20)
+    c0, _, _ = raw_rw(base, Opcode.READ)
+    healthy_ns = base.now
+
+    m = small(FaultPlan().latency_spikes(nth=1, extra_ns=spike))
+    completion, _, _ = raw_rw(m, Opcode.READ)
+    assert completion.ok
+    assert m.now == healthy_ns + spike
+
+
+def test_dropped_completion_then_abort():
+    m = small(FaultPlan().dropped_completions(nth=1))
+    qp = m.device.create_queue_pair(pasid=0)
+    cmd = Command(Opcode.READ, addr=0, nbytes=4096)
+    ev = m.device.submit(qp, cmd)
+    m.run()  # drains: the completion never arrives
+    assert not ev.triggered
+    assert m.device.dropped_completions == 1
+    # The host aborts; the ABORTED completion flushes out.
+    assert m.device.abort(qp, cmd.cid)
+    completion = m.run_process(_wait(ev))
+    assert completion.status is Status.ABORTED
+    assert completion.status.retryable
+    assert m.device.commands_aborted == 1
+
+
+def test_abort_unknown_cid_returns_false():
+    m = small(FaultPlan().dropped_completions(nth=1))
+    qp = m.device.create_queue_pair(pasid=0)
+    assert not m.device.abort(qp, cid=424242)
+
+
+def test_served_counts_successes_only():
+    m = small(FaultPlan().media_read_errors(nth=2))
+    _, qp, _ = raw_rw(m, Opcode.WRITE)
+    ok, _, _ = raw_rw(m, Opcode.READ, qp=qp)
+    bad, _, _ = raw_rw(m, Opcode.READ, qp=qp)
+    assert ok.ok and not bad.ok
+    assert m.device.commands_served == 2
+    assert m.device.commands_failed == 1
+
+
+def test_inactive_injector_never_interferes():
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=64 << 20)
+    assert not m.faults.active
+    for _ in range(5):
+        completion, _, _ = raw_rw(m, Opcode.READ)
+        assert completion.ok
+    assert m.device.commands_failed == 0
+    assert m.faults.summary()["media_read_error"] == 0

@@ -1,0 +1,162 @@
+"""Kernel-driver recovery: transient retries with backoff, timeout +
+abort of dropped completions, bounded retries surfacing -EIO through
+the syscall layer, and the metadata volume's matching policy."""
+
+import errno
+
+import pytest
+
+from repro import GiB, Machine
+from repro.faults import FaultPlan
+from repro.kernel.blockio import IOError_
+from repro.kernel.process import O_CREAT, O_DIRECT, O_RDWR
+from repro.nvme.spec import Opcode, Status
+
+
+def machine(plan=None, **kw):
+    kw.setdefault("capacity_bytes", 1 * GiB)
+    kw.setdefault("memory_bytes", 64 << 20)
+    return Machine(faults=plan, **kw)
+
+
+def prepared_file(m, path="/f", nbytes=4096):
+    """Open + fallocate: allocates blocks with NO media commands, so
+    the fault plan's nth counters start at the test's own I/O."""
+    proc = m.spawn_process("app")
+    t = proc.new_thread()
+
+    def body():
+        fd = yield from m.kernel.sys_open(proc, t, path,
+                                          O_RDWR | O_CREAT | O_DIRECT)
+        yield from m.kernel.sys_fallocate(proc, t, fd, 0, nbytes)
+        return fd
+
+    fd = m.run_process(t.run(body()))
+    return proc, t, fd
+
+
+def test_transient_media_error_retried_to_success():
+    m = machine(FaultPlan().media_read_errors(nth=1, count=2))
+    proc, t, fd = prepared_file(m)
+
+    def read():
+        return (yield from m.kernel.sys_pread(proc, t, fd, 0, 4096))
+
+    n, _ = m.run_process(t.run(read()))
+    assert n == 4096
+    assert m.blockio.retries == 2
+    assert m.blockio.io_errors == 0
+    assert m.device.commands_failed == 2
+
+
+def test_retry_backoff_is_bounded_exponential():
+    p = machine().params
+    assert p.retry_backoff_ns(1) == p.io_retry_backoff_ns
+    assert p.retry_backoff_ns(2) == 2 * p.io_retry_backoff_ns
+    assert p.retry_backoff_ns(4) == p.io_retry_backoff_max_ns
+    assert p.retry_backoff_ns(10) == p.io_retry_backoff_max_ns
+    with pytest.raises(ValueError):
+        p.retry_backoff_ns(0)
+
+
+def test_persistent_media_error_exhausts_retries_to_eio():
+    m = machine(FaultPlan().media_read_errors(nth=1, count=100))
+    proc, t, fd = prepared_file(m)
+
+    def read():
+        yield from m.kernel.sys_pread(proc, t, fd, 0, 4096)
+
+    with pytest.raises(IOError_) as exc_info:
+        m.run_process(t.run(read()))
+    err = exc_info.value
+    assert isinstance(err, OSError)
+    assert err.errno == errno.EIO  # what read() returns as -EIO
+    assert err.completion.status.retryable
+    # initial attempt + io_retry_limit retries, all failed
+    assert m.blockio.retries == m.params.io_retry_limit
+    assert m.blockio.io_errors == 1
+    assert m.device.commands_failed == 1 + m.params.io_retry_limit
+
+
+def test_dropped_completion_timeout_abort_retry():
+    m = machine(FaultPlan().dropped_completions(nth=1))
+    proc, t, fd = prepared_file(m)
+
+    def read():
+        return (yield from m.kernel.sys_pread(proc, t, fd, 0, 4096))
+
+    t0 = m.now
+    n, _ = m.run_process(t.run(read()))
+    assert n == 4096
+    assert m.blockio.timeouts == 1
+    assert m.blockio.aborts == 1
+    assert m.blockio.retries == 1  # the ABORTED status is retryable
+    assert m.device.dropped_completions == 1
+    assert m.device.commands_aborted == 1
+    # The stall is visible in simulated time: at least one io timeout.
+    assert m.now - t0 >= m.params.io_timeout_ns
+
+
+def test_timeout_wait_not_armed_for_fault_free_plans():
+    """Fault-free machines must keep byte-identical timing: the guarded
+    wait collapses to a plain block when no rule can drop CQEs."""
+    def timed_read(m):
+        proc, t, fd = prepared_file(m)
+
+        def read():
+            return (yield from m.kernel.sys_pread(proc, t, fd, 0, 4096))
+
+        m.run_process(t.run(read()))
+        return m.now
+
+    t_healthy = timed_read(machine())
+    # A plan with media errors (but no drops) must not change the
+    # timing of commands it does not touch.
+    spare = machine(FaultPlan().media_read_errors(nth=10**9))
+    assert timed_read(spare) == t_healthy
+    assert spare.blockio.timeouts == 0
+
+
+def test_metadata_volume_retries_transient_write_errors():
+    # Journal commits write metadata through KernelVolume; a transient
+    # write fault must be absorbed by its retry loop.
+    m = machine(FaultPlan().media_write_errors(nth=1, count=1))
+    proc, t, fd = prepared_file(m)
+
+    def body():
+        yield from m.kernel.sys_fsync(proc, t, fd)
+
+    m.run_process(t.run(body()))
+    assert m.volume.retries == 1
+    assert m.volume.io_errors == 0
+
+
+def test_metadata_volume_survives_dropped_completion():
+    m = machine(FaultPlan().dropped_completions(nth=1))
+    proc, t, fd = prepared_file(m)
+
+    def body():
+        yield from m.kernel.sys_fsync(proc, t, fd)
+
+    m.run_process(t.run(body()))
+    assert m.volume.timeouts == 1
+    assert m.volume.aborts == 1
+    assert m.volume.io_errors == 0
+    assert m.volume.retries == 1
+
+
+def test_async_submit_guard_aborts_lost_command():
+    """libaio/io_uring submissions have no waiting thread; the driver's
+    watchdog aborts the lost command so reapers see an error CQE."""
+    m = machine(FaultPlan().dropped_completions(nth=1))
+    proc, t, fd = prepared_file(m)
+
+    def body():
+        ev = yield from m.blockio.submit_async(t, Opcode.READ, 0, 4096)
+        completion = yield from t.block(ev)
+        return completion
+
+    completion = m.run_process(t.run(body()))
+    assert completion.status is Status.ABORTED
+    assert m.blockio.timeouts == 1
+    assert m.blockio.aborts == 1

@@ -1,0 +1,117 @@
+"""The REAL translation-fault path, end to end: hand-built FTEs, raw
+VBA commands, and the IOMMU's refusal reasons — every fault must come
+back as an error completion, never touch media, and leave
+``commands_served`` unchanged (Sections 3.5, 3.6)."""
+
+import errno
+
+import pytest
+
+from repro import GiB, Machine
+from repro.nvme.spec import AddressKind, Command, Opcode, Status
+
+VA = 64 << 20          # page-aligned user VA for hand-built mappings
+LBA = 100              # 4 KiB block somewhere in the device
+
+
+def machine():
+    return Machine(capacity_bytes=1 * GiB, memory_bytes=64 << 20)
+
+
+def vba_setup(m):
+    proc = m.spawn_process()
+    qp = m.device.create_queue_pair(pasid=proc.pasid)
+    return proc, proc.aspace.page_table, qp
+
+
+def submit_vba(m, qp, opcode, vba=VA, nbytes=4096, data=None):
+    cmd = Command(opcode, addr=vba, nbytes=nbytes,
+                  addr_kind=AddressKind.VBA, data=data)
+    ev = m.device.submit(qp, cmd)
+    return m.run_process(_wait(ev))
+
+
+def _wait(ev):
+    value = yield ev
+    return value
+
+
+def assert_faulted(m, completion, reason_part):
+    assert completion.status is Status.TRANSLATION_FAULT
+    assert not completion.ok
+    assert reason_part in completion.fault_reason
+    assert completion.errno == -errno.EFAULT
+    # Translation faults are NOT retryable: recovery is re-fmap.
+    assert not completion.status.retryable
+
+
+def test_good_fte_translates_and_reaches_media():
+    m = machine()
+    proc, pt, qp = vba_setup(m)
+    pt.map_file_page(VA, LBA, devid=m.device.devid, writable=True)
+    completion = submit_vba(m, qp, Opcode.WRITE, data=b"w" * 4096)
+    assert completion.ok
+    assert m.device.backend.writes == 1
+    assert m.device.commands_served == 1
+
+
+def test_missing_fte_faults_without_media_access():
+    m = machine()
+    proc, pt, qp = vba_setup(m)   # nothing mapped at VA
+    completion = submit_vba(m, qp, Opcode.READ)
+    assert_faulted(m, completion, "no file table entry")
+    assert m.device.backend.reads == 0
+    assert m.device.commands_served == 0
+    assert m.device.commands_failed == 1
+    assert m.device.translation_faults == 1
+
+
+def test_wrong_devid_fte_is_rejected():
+    m = machine()
+    proc, pt, qp = vba_setup(m)
+    wrong = (m.device.devid + 1) & 0x3F
+    pt.map_file_page(VA, LBA, devid=wrong, writable=True)
+    completion = submit_vba(m, qp, Opcode.READ)
+    assert_faulted(m, completion, "DevID mismatch")
+    assert m.device.backend.reads == 0
+    assert m.device.commands_served == 0
+
+
+def test_readonly_fte_rejects_writes_but_serves_reads():
+    m = machine()
+    proc, pt, qp = vba_setup(m)
+    pt.map_file_page(VA, LBA, devid=m.device.devid, writable=False)
+    completion = submit_vba(m, qp, Opcode.WRITE, data=b"w" * 4096)
+    assert_faulted(m, completion, "write to read-only file mapping")
+    assert m.device.backend.writes == 0
+    # The same FTE still serves reads: permission is per-direction.
+    completion = submit_vba(m, qp, Opcode.READ)
+    assert completion.ok
+    assert m.device.commands_served == 1
+    assert m.device.commands_failed == 1
+
+
+def test_regular_pte_cannot_be_used_as_block_address():
+    m = machine()
+    proc, pt, qp = vba_setup(m)
+    pt.map_page(VA, pfn=1234, writable=True)   # data page, not an FTE
+    completion = submit_vba(m, qp, Opcode.READ)
+    assert_faulted(m, completion, "regular PTE in block translation")
+    assert m.device.backend.reads == 0
+
+
+def test_revocation_detaches_fte_mid_stream():
+    """Permission revocation = the kernel clearing the FTE: in-flight
+    use of the stale VBA faults, served count freezes."""
+    m = machine()
+    proc, pt, qp = vba_setup(m)
+    pt.map_file_page(VA, LBA, devid=m.device.devid, writable=True)
+    assert submit_vba(m, qp, Opcode.READ).ok
+    assert m.device.commands_served == 1
+
+    pt.unmap_page(VA)                          # revoke
+    m.iommu.invalidate_range(proc.pasid, VA, 4096)
+    completion = submit_vba(m, qp, Opcode.READ)
+    assert_faulted(m, completion, "no file table entry")
+    assert m.device.commands_served == 1       # unchanged
+    assert m.device.backend.reads == 1         # only the good read

@@ -45,6 +45,26 @@ class TestResultTable:
         assert "12.35" in out
         assert "123,456" in out
 
+    def test_counters_footer(self):
+        t = ResultTable("T", ["v"])
+        t.add(1)
+        assert "counters:" not in t.render()
+        t.attach_counters({"translation_faults": 3, "crashes": 0})
+        out = t.render()
+        assert "counters: translation_faults=3" in out
+        assert "crashes" not in out        # zeros filtered by default
+
+    def test_counters_accumulate_across_machines(self):
+        t = ResultTable("T", ["v"])
+        t.attach_counters({"driver_retries": 2})
+        t.attach_counters({"driver_retries": 5, "crashes": 1})
+        assert t.counters == {"driver_retries": 7, "crashes": 1}
+
+    def test_counters_keep_zero_when_asked(self):
+        t = ResultTable("T", ["v"])
+        t.attach_counters({"crashes": 0}, nonzero_only=False)
+        assert "crashes=0" in t.render()
+
 
 class TestCLI:
     def test_list(self, capsys):
@@ -62,6 +82,23 @@ class TestCLI:
         assert main(["table4"]) == 0
         out = capsys.readouterr().out
         assert "1317" in out
+
+    def test_faults_flag_prints_summary(self, capsys):
+        from repro.bench.__main__ import main
+        from repro.faults import default_injector
+        assert main(["--faults", "seed=9,media_error_rate=0.0001",
+                     "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault injection summary" in out
+        assert "seed=9" in out
+        assert "media_read_error" in out
+        # The ambient injector was cleared after the run.
+        assert default_injector() is None
+
+    def test_bad_faults_spec_is_a_usage_error(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["--faults", "bogus_rate=1", "table4"]) == 2
+        assert "bad --faults spec" in capsys.readouterr().err
 
 
 class TestStartGate:

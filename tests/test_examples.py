@@ -19,6 +19,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
     "kvstore_app.py",
     "log_ingest.py",
     "lsm_engine.py",
+    "fault_injection.py",
 ])
 def test_example_runs(script, capsys):
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")
