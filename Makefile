@@ -1,0 +1,36 @@
+# Developer entry points.  CI runs the same commands (.github/workflows).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint simlint simlint-fix ruff mypy baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# fails on any new simlint violation (baselined ones are tolerated)
+simlint:
+	$(PYTHON) scripts/simlint.py src/repro
+
+# apply the mechanically safe rewrites (sorted() wraps, int casts)
+simlint-fix:
+	$(PYTHON) scripts/simlint.py src/repro --fix
+
+# record current violations as the baseline (use sparingly; prefer fixes)
+baseline:
+	$(PYTHON) scripts/simlint.py src/repro --write-baseline
+
+ruff:
+	$(PYTHON) -m ruff check .
+
+mypy:
+	$(PYTHON) -m mypy
+
+# the full gate: project linter + style/pyflakes + types
+lint: simlint
+	@$(PYTHON) -c "import importlib.util as u, sys; \
+	  sys.exit(0 if u.find_spec('ruff') else 1)" \
+	  && $(MAKE) ruff || echo "ruff not installed; skipping (pip install -e .[lint])"
+	@$(PYTHON) -c "import importlib.util as u, sys; \
+	  sys.exit(0 if u.find_spec('mypy') else 1)" \
+	  && $(MAKE) mypy || echo "mypy not installed; skipping (pip install -e .[lint])"

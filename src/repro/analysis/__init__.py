@@ -1,0 +1,48 @@
+"""Static analysis for simulation correctness (simlint).
+
+``python scripts/simlint.py src/repro`` is the CLI front end; this
+package is the library: an AST pass with ~10 SIM rules that catch the
+ways Python code breaks the engine's same-seed-same-bytes guarantee
+(wall-clock reads, hash-order iteration into the event queue, float
+delays on the integer nanosecond clock, event-protocol misuse).
+
+See ``docs/static_analysis.md`` for the rule catalogue with bad/good
+examples, and :mod:`repro.sim.sanitizer` for the runtime counterpart.
+"""
+
+from .rules import ERROR, RULES, Rule, WARNING, iter_rules_help, rule_by_id
+from .linter import (
+    LintResult,
+    Violation,
+    apply_baseline,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_human,
+    render_json,
+    write_baseline,
+)
+from .fixes import FIXABLE_RULES, fix_file, fix_source
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "RULES",
+    "Rule",
+    "rule_by_id",
+    "iter_rules_help",
+    "iter_python_files",
+    "LintResult",
+    "Violation",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "render_human",
+    "render_json",
+    "FIXABLE_RULES",
+    "fix_source",
+    "fix_file",
+]

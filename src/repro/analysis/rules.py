@@ -1,0 +1,189 @@
+"""The simlint rule catalogue.
+
+Each rule is a small declarative record; the detection logic lives in
+:mod:`repro.analysis.linter`.  Rules target *simulation correctness*:
+the discrete-event engine promises that same-seed runs are byte
+identical, and every paper figure rests on that promise.  These rules
+mechanically exclude the ways Python code usually breaks it — wall
+clock reads, hash-order iteration, floats leaking into the integer
+nanosecond clock, and protocol misuse of the event engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["Rule", "RULES", "ERROR", "WARNING", "rule_by_id",
+           "iter_rules_help"]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static-analysis rule."""
+
+    id: str                  # "SIM003"
+    name: str                # short kebab-case handle
+    severity: str            # ERROR or WARNING
+    summary: str             # one line, shown next to each violation
+    rationale: str           # why this breaks the simulation
+    fixable: bool = False    # scripts/simlint.py --fix can rewrite it
+    tags: Tuple[str, ...] = field(default=())
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="SIM001",
+        name="wall-clock-entropy",
+        severity=ERROR,
+        summary="wall-clock time or OS entropy read in model code",
+        rationale=(
+            "time.time()/datetime.now()/os.urandom()/module-level "
+            "random.* leak host state into the simulation; same-seed "
+            "runs stop being byte identical.  Use sim.now for time and "
+            "a seeded random.Random for randomness."
+        ),
+        tags=("determinism",),
+    ),
+    Rule(
+        id="SIM002",
+        name="unordered-iteration",
+        severity=ERROR,
+        summary="iteration over a set/dict view feeds event scheduling "
+                "without sorted()",
+        rationale=(
+            "set iteration order depends on hash seeds and insertion "
+            "history; when the loop body yields, triggers events, or "
+            "pushes onto a heap, that order becomes the event order.  "
+            "Wrap the iterable in sorted()."
+        ),
+        fixable=True,
+        tags=("determinism", "ordering"),
+    ),
+    Rule(
+        id="SIM003",
+        name="float-into-clock",
+        severity=ERROR,
+        summary="float arithmetic flows into the integer-nanosecond clock",
+        rationale=(
+            "the engine measures time in integer nanoseconds; float "
+            "delays accumulate rounding error and make timelines "
+            "platform sensitive.  Cast with int()/round() before the "
+            "value reaches timeout()/compute()/sleep() or sim.now."
+        ),
+        fixable=True,
+        tags=("determinism", "clock"),
+    ),
+    Rule(
+        id="SIM004",
+        name="yield-non-event",
+        severity=ERROR,
+        summary="simulation process yields a raw value instead of an Event",
+        rationale=(
+            "the engine resumes a process only when the yielded Event "
+            "triggers; yielding a constant or arithmetic expression "
+            "fails at runtime (SimulationError) — catch it statically."
+        ),
+        tags=("protocol",),
+    ),
+    Rule(
+        id="SIM005",
+        name="double-trigger",
+        severity=ERROR,
+        summary="Event.succeed()/fail() reachable twice on one "
+                "straight-line path",
+        rationale=(
+            "an Event is one-shot; the second trigger raises "
+            "SimulationError mid-run and tears the simulation down."
+        ),
+        tags=("protocol",),
+    ),
+    Rule(
+        id="SIM006",
+        name="swallowed-interrupt",
+        severity=WARNING,
+        summary="except Interrupt: with an empty body silently swallows "
+                "the interrupt",
+        rationale=(
+            "Interrupt carries a cause (e.g. access revocation racing "
+            "an in-flight I/O); dropping it on the floor hides protocol "
+            "bugs.  Re-raise, return, or handle it explicitly."
+        ),
+        tags=("protocol",),
+    ),
+    Rule(
+        id="SIM007",
+        name="cross-layer-mutation",
+        severity=WARNING,
+        summary="direct mutation of another layer's private attribute",
+        rationale=(
+            "writing obj._x from outside the owning module bypasses the "
+            "owning layer's invariants (and its sanitizer hooks).  Add "
+            "a public method on the owning class instead."
+        ),
+        tags=("layering",),
+    ),
+    Rule(
+        id="SIM008",
+        name="missing-slots",
+        severity=WARNING,
+        summary="hot-path event/command class without __slots__",
+        rationale=(
+            "events and NVMe commands are allocated millions of times "
+            "per run; per-instance __dict__ costs memory and cache "
+            "misses.  Declare __slots__ (or @dataclass(slots=True))."
+        ),
+        tags=("performance",),
+    ),
+    Rule(
+        id="SIM009",
+        name="unseeded-rng",
+        severity=ERROR,
+        summary="RNG constructed without a seed (random.Random(), "
+                "default_rng(), SystemRandom)",
+        rationale=(
+            "an unseeded generator pulls entropy from the OS; every "
+            "run gets a different fault schedule and key sequence.  "
+            "Thread a seed from the experiment config."
+        ),
+        tags=("determinism",),
+    ),
+    Rule(
+        id="SIM010",
+        name="address-ordering",
+        severity=WARNING,
+        summary="id() used as a container key or ordering key",
+        rationale=(
+            "id() is a memory address: it differs across runs, so "
+            "sorting by it — or keying a dict that is later iterated — "
+            "injects address-space layout into the event order.  Use a "
+            "deterministic identifier (thread.tid, a sequence number)."
+        ),
+        tags=("determinism", "ordering"),
+    ),
+)
+
+_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    try:
+        return _BY_ID[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_BY_ID))}"
+        ) from None
+
+
+def iter_rules_help() -> str:
+    """Human-readable rule catalogue for ``simlint --list-rules``."""
+    out = []
+    for r in RULES:
+        fix = "  [--fix]" if r.fixable else ""
+        out.append(f"{r.id} ({r.name}, {r.severity}){fix}")
+        out.append(f"    {r.summary}")
+        out.append(f"    why: {r.rationale}")
+    return "\n".join(out)

@@ -49,7 +49,7 @@ def materialize_file(machine: Machine, proc, engine, path: str,
     if engine is not None and getattr(engine, "name", "") == "spdk":
         f = engine.create_file(path, size)
         # Mark the whole capacity as written so reads are in-bounds.
-        f._size = size
+        f.mark_written(size)
         return
     from ..kernel.process import O_CREAT, O_RDWR
     kernel = machine.kernel

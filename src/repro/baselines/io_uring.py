@@ -56,7 +56,8 @@ class IOUringRing:
         self.sqes = 0
         self.inflight = 0
         self._last_work_ns = 0
-        sim.process(self._poll_loop(), name=f"iou-sqpoll-{index}")
+        sim.process(self._poll_loop(), name=f"iou-sqpoll-{index}",
+                    daemon=True)
 
     # While busy, the poller spins in bounded leases: it burns the core
     # (the Figure 9 cost) but yields at lease boundaries, which stands
@@ -205,13 +206,13 @@ class IOUringEngine:
         self._rings: Dict[int, tuple] = {}
 
     def ring_for(self, thread: Thread):
-        entry = self._rings.get(id(thread))
+        entry = self._rings.get(thread.tid)
         if entry is None:
             ring = IOUringRing(self.sim, self.cpus, self.kernel,
                                len(self._rings))
             cq = Store(self.sim)
             entry = (ring, cq)
-            self._rings[id(thread)] = entry
+            self._rings[thread.tid] = entry
         return entry
 
     @property

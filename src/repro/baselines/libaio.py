@@ -171,10 +171,10 @@ class LibaioEngine:
         self._ctxs = {}
 
     def context(self, thread: Thread) -> AIOContext:
-        ctx = self._ctxs.get(id(thread))
+        ctx = self._ctxs.get(thread.tid)
         if ctx is None:
             ctx = AIOContext(self.sim, self.kernel, self.proc)
-            self._ctxs[id(thread)] = ctx
+            self._ctxs[thread.tid] = ctx
         return ctx
 
     def open(self, thread: Thread, path: str, write: bool = False,

@@ -56,6 +56,12 @@ class SPDKFile:
     def size(self) -> int:
         return self._size
 
+    def mark_written(self, nbytes: int) -> None:
+        """Extend the logical size without issuing writes (bulk setup)."""
+        if nbytes < 0 or nbytes > self.capacity_pages * PAGE:
+            raise ValueError(f"size {nbytes} beyond SPDK file capacity")
+        self._size = max(self._size, nbytes)
+
     def _lba(self, offset: int) -> int:
         if offset >= self.capacity_pages * PAGE:
             raise ValueError(f"offset {offset} beyond SPDK file capacity")
@@ -113,17 +119,17 @@ class SPDKEngine:
         self.ios = 0
 
     def detach(self) -> None:
-        for qp in self._qps.values():
+        for _tid, qp in sorted(self._qps.items()):
             self.device.delete_queue_pair(qp)
         self._qps.clear()
         self.device.release_exclusive(self.owner_tag)
 
     def _qp(self, thread: Thread):
-        qp = self._qps.get(id(thread))
+        qp = self._qps.get(thread.tid)
         if qp is None:
             qp = self.device.create_queue_pair(pasid=0, depth=1024,
                                                owner=self.owner_tag)
-            self._qps[id(thread)] = qp
+            self._qps[thread.tid] = qp
         return qp
 
     # -- raw access (this is the sharing hazard) -------------------------------

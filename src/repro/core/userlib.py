@@ -114,7 +114,7 @@ class UserLib:
     # -- setup ------------------------------------------------------------
 
     def _ctx(self, thread: Thread) -> _ThreadCtx:
-        ctx = self._ctxs.get(id(thread))
+        ctx = self._ctxs.get(thread.tid)
         if ctx is None:
             qp = self.device.create_queue_pair(pasid=self.proc.pasid,
                                                depth=1024)
@@ -125,7 +125,7 @@ class UserLib:
             for i, frame in enumerate(buf.frames):
                 pt.map_page(buf.iova + i * 4096, frame, writable=True)
             ctx = _ThreadCtx(qp, buf)
-            self._ctxs[id(thread)] = ctx
+            self._ctxs[thread.tid] = ctx
         return ctx
 
     # -- open/close ---------------------------------------------------------
@@ -482,7 +482,7 @@ class UserLib:
         """Flush this process's queues, then kernel fsync (Table 3)."""
         if state.direct:
             yield from self.drain_writes(thread, state)
-            for ctx in self._ctxs.values():
+            for _tid, ctx in sorted(self._ctxs.items()):
                 ev = self.device.submit(
                     ctx.qp, Command(Opcode.FLUSH, addr=0, nbytes=0))
                 yield from thread.poll(ev)

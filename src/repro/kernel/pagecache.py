@@ -100,9 +100,9 @@ class PageCache:
     # -- maintenance -------------------------------------------------------
 
     def sync_inode(self, thread: Thread, inode) -> Generator:
-        doomed: List[Tuple[int, int]] = [
+        doomed: List[Tuple[int, int]] = sorted(
             key for key in self._dirty if key[0] == inode.ino
-        ]
+        )
         for key in doomed:
             self._dirty.discard(key)
             yield from self._writeback(thread, key, self._pages.get(key))

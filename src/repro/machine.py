@@ -67,9 +67,10 @@ class Machine:
                  cache_ftes: bool = False,
                  page_cache_pages: Optional[int] = None,
                  trace: bool = False,
+                 sanitize: bool = False,
                  faults: Union[FaultPlan, FaultInjector, str, None] = None):
         self.params = params if params is not None else DEFAULT_PARAMS
-        self.sim = Simulator()
+        self.sim = Simulator(sanitize=sanitize)
         self.tracer = Tracer(self.sim) if trace else NULL_TRACER
         self.faults = self._resolve_injector(faults)
         self.faults.tracer = self.tracer

@@ -87,7 +87,8 @@ class NVMeDevice:
         self.dropped_completions = 0
         self.translation_faults = 0
         for idx in range(params.device_channels):
-            sim.process(self._channel_loop(), name=f"nvme{devid}-ch{idx}")
+            sim.process(self._channel_loop(), name=f"nvme{devid}-ch{idx}",
+                        daemon=True)
 
     # -- queue management (driver-facing) -------------------------------------
 

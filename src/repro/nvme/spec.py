@@ -73,7 +73,7 @@ class AddressKind(enum.Enum):
     VBA = "vba"  # BypassD: virtual block address, byte-granular
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """One submission queue entry."""
 
@@ -102,7 +102,7 @@ class Command:
         return self.opcode is Opcode.WRITE
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """One completion queue entry."""
 

@@ -12,6 +12,7 @@ from .engine import (
 )
 from .resources import Lock, Resource, Semaphore, Store
 from .cpu import CPUSet, Thread
+from .sanitizer import Diagnostic, EventProvenance, Sanitizer, SanitizerError
 from .trace import NULL_TRACER, NullTracer, Span, Tracer
 from .stats import (
     BreakdownRecorder,
@@ -45,4 +46,8 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "Diagnostic",
+    "EventProvenance",
+    "Sanitizer",
+    "SanitizerError",
 ]

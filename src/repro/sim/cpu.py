@@ -38,6 +38,10 @@ class CPUSet:
         self.cores = cores
         self._pool = Resource(sim, cores)
         self.busy_ns = 0
+        self._next_tid = 0
+        if sim._san is not None:
+            sim._san.register_sync(self._pool,
+                                   name=f"CPUSet({cores} cores)")
 
     @property
     def in_use(self) -> int:
@@ -67,6 +71,11 @@ class Thread:
         self.cpus = cpus
         self.sim = cpus.sim
         self.name = name
+        # Deterministic identity: creation order on this CPU set.  Model
+        # code must key per-thread state by this, never by id(thread) —
+        # memory addresses differ across runs (simlint SIM010).
+        self.tid = cpus._next_tid
+        cpus._next_tid += 1
         self._on_core = False
         self.compute_ns = 0
         self.poll_ns = 0

@@ -51,7 +51,8 @@ class Event:
     at the current simulation time.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered",
+                 "_defused", "__weakref__")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -60,6 +61,8 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._triggered = False
         self._defused = False
+        if sim._san is not None:
+            sim._san.note_event_created(self)
 
     @property
     def triggered(self) -> bool:
@@ -138,15 +141,22 @@ class Process(Event):
     generator finishes, or fails with the escaping exception.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on")
+    __slots__ = ("gen", "name", "daemon", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "",
+                 daemon: bool = False):
         if not hasattr(gen, "send"):
             raise SimulationError(f"process target must be a generator, got {gen!r}")
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        # Daemon processes are perpetual servers (device channels,
+        # poller threads): the sanitizer exempts them from stranded/
+        # leak verdicts and treats their scheduling order as immaterial.
+        self.daemon = daemon
         self._waiting_on: Optional[Event] = None
+        if sim._san is not None:
+            sim._san.note_process_created(self)
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
         bootstrap.succeed()
@@ -269,13 +279,33 @@ class AnyOf(Condition):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event)."""
+    """The event loop: a priority queue of (time, seq, event).
 
-    def __init__(self):
+    ``sanitize=True`` attaches a :class:`repro.sim.sanitizer.Sanitizer`
+    that records event provenance and reports ordering races, stranded
+    processes, and leaked events/resources at the end of a run (see
+    ``docs/static_analysis.md``).  ``strict_sanitize=True`` additionally
+    raises :class:`repro.sim.sanitizer.SanitizerError` from :meth:`run`
+    when leak-class findings exist.  With sanitize off (the default)
+    the hot paths only pay a ``is not None`` check and simulated
+    timelines are byte-identical.
+    """
+
+    def __init__(self, sanitize: bool = False,
+                 strict_sanitize: bool = False):
         self.now: int = 0
         self._queue: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._san = None
+        if sanitize or strict_sanitize:
+            from .sanitizer import Sanitizer
+            self._san = Sanitizer(self, strict=strict_sanitize)
+
+    @property
+    def sanitizer(self):
+        """The attached Sanitizer, or None when sanitize is off."""
+        return self._san
 
     # -- event factories --------------------------------------------------
 
@@ -285,8 +315,9 @@ class Simulator:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, gen: ProcessGen, name: str = "") -> Process:
-        return Process(self, gen, name=name)
+    def process(self, gen: ProcessGen, name: str = "",
+                daemon: bool = False) -> Process:
+        return Process(self, gen, name=name, daemon=daemon)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -299,6 +330,8 @@ class Simulator:
     def _post(self, event: Event, delay: int = 0) -> None:
         self._seq += 1
         heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        if self._san is not None:
+            self._san.note_scheduled(event, self.now + delay, self._seq)
 
     def run(self, until: Optional[int] = None) -> int:
         """Drain the queue; stop once simulated time would pass ``until``.
@@ -309,6 +342,8 @@ class Simulator:
             when, _seq, event = self._queue[0]
             if until is not None and when > until:
                 self.now = until
+                if self._san is not None:
+                    self._san.finish()
                 return self.now
             heapq.heappop(self._queue)
             self.now = when
@@ -320,6 +355,8 @@ class Simulator:
                 raise event._exc
         if until is not None:
             self.now = max(self.now, until)
+        if self._san is not None:
+            self._san.finish()
         return self.now
 
     def run_process(self, gen: ProcessGen, until: Optional[int] = None) -> Any:

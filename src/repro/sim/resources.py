@@ -24,7 +24,10 @@ class Semaphore:
             raise ValueError("semaphore value must be >= 0")
         self.sim = sim
         self._value = value
+        self._sanitizer_initial = value
         self._waiters: Deque[Event] = deque()
+        if sim._san is not None:
+            sim._san.register_sync(self)
 
     @property
     def value(self) -> int:
@@ -37,11 +40,14 @@ class Semaphore:
     def acquire(self) -> Event:
         """Return an event that triggers once a unit is held."""
         ev = self.sim.event()
-        if self._value > 0 and not self._waiters:
+        immediate = self._value > 0 and not self._waiters
+        if immediate:
             self._value -= 1
             ev.succeed()
         else:
             self._waiters.append(ev)
+        if self.sim._san is not None:
+            self.sim._san.note_sync_op(self, "acquire", immediate)
         return ev
 
     def release(self) -> None:
@@ -80,6 +86,8 @@ class Resource:
         self.capacity = capacity
         self.users = 0
         self._waiters: Deque[Event] = deque()
+        if sim._san is not None:
+            sim._san.register_sync(self)
 
     @property
     def queue_len(self) -> int:
@@ -87,11 +95,14 @@ class Resource:
 
     def request(self) -> Event:
         ev = self.sim.event()
-        if self.users < self.capacity and not self._waiters:
+        immediate = self.users < self.capacity and not self._waiters
+        if immediate:
             self.users += 1
             ev.succeed()
         else:
             self._waiters.append(ev)
+        if self.sim._san is not None:
+            self.sim._san.note_sync_op(self, "request", immediate)
         return ev
 
     def release(self) -> None:
@@ -116,6 +127,8 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()
+        if sim._san is not None:
+            sim._san.register_sync(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -126,6 +139,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         ev = self.sim.event()
+        immediate = True
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed()
@@ -134,11 +148,15 @@ class Store:
             ev.succeed()
         else:
             self._putters.append((ev, item))
+            immediate = False
+        if self.sim._san is not None:
+            self.sim._san.note_sync_op(self, "put", immediate)
         return ev
 
     def get(self) -> Event:
         ev = self.sim.event()
-        if self._items:
+        immediate = bool(self._items)
+        if immediate:
             ev.succeed(self._items.popleft())
             if self._putters:
                 put_ev, item = self._putters.popleft()
@@ -146,6 +164,8 @@ class Store:
                 put_ev.succeed()
         else:
             self._getters.append(ev)
+        if self.sim._san is not None:
+            self.sim._san.note_sync_op(self, "get", immediate)
         return ev
 
     def try_get(self) -> Any:

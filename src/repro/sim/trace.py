@@ -20,7 +20,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     category: str     # "user" | "kernel" | "device" | custom
     label: str

@@ -1,0 +1,104 @@
+"""The --fix autofixer: mechanically safe rewrites only."""
+
+import textwrap
+
+from repro.analysis import fix_source, lint_source
+
+
+def _dedent(code):
+    return textwrap.dedent(code)
+
+
+def test_fix_wraps_set_iteration_in_sorted():
+    code = _dedent("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+
+            def kick(self):
+                for delay in self.pending:
+                    self.sim.timeout(delay)
+    """)
+    fixed, n = fix_source(code)
+    assert n == 1
+    assert "for delay in sorted(self.pending):" in fixed
+    assert not [v for v in lint_source(fixed) if v.rule.id == "SIM002"]
+
+
+def test_fix_wraps_dict_view_in_sorted():
+    code = _dedent("""
+        class Flusher:
+            def drain(self, table):
+                for key, ev in table.items():
+                    yield ev
+    """)
+    fixed, n = fix_source(code)
+    assert n == 1
+    assert "sorted(table.items())" in fixed
+
+
+def test_fix_casts_constant_float_delay():
+    code = _dedent("""
+        def proc(sim):
+            yield sim.timeout(2.0)
+    """)
+    fixed, n = fix_source(code)
+    assert n == 1
+    assert "sim.timeout(int(2.0))" in fixed
+    assert not [v for v in lint_source(fixed) if v.rule.id == "SIM003"]
+
+
+def test_fix_leaves_non_constant_float_expressions_alone():
+    # nbytes / rate needs a human to decide where precision is lost
+    code = _dedent("""
+        def proc(sim, nbytes, rate):
+            yield sim.timeout(nbytes / rate)
+    """)
+    fixed, n = fix_source(code)
+    assert n == 0
+    assert fixed == code
+    assert [v.rule.id for v in lint_source(fixed)] == ["SIM003"]
+
+
+def test_fix_is_idempotent():
+    code = _dedent("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+
+            def kick(self):
+                for delay in self.pending:
+                    self.sim.timeout(delay)
+    """)
+    once, n1 = fix_source(code)
+    twice, n2 = fix_source(once)
+    assert n1 == 1 and n2 == 0
+    assert once == twice
+
+
+def test_fix_handles_multiple_sites():
+    code = _dedent("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+                self.later = set()
+
+            def kick(self):
+                for delay in self.pending:
+                    self.sim.timeout(delay)
+                for delay in self.later:
+                    self.sim.timeout(delay)
+
+            def nap(self):
+                yield self.sim.timeout(1.5)
+    """)
+    fixed, n = fix_source(code)
+    assert n == 3
+    assert fixed.count("sorted(") == 2
+    assert "int(1.5)" in fixed
+    remaining = [v for v in lint_source(fixed)
+                 if v.rule.id in ("SIM002", "SIM003")]
+    assert remaining == []

@@ -1,0 +1,118 @@
+"""Suppression mechanics: inline pragmas, skip-file, baseline files."""
+
+import json
+import textwrap
+
+from repro.analysis import (
+    LintResult,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    render_human,
+    render_json,
+    write_baseline,
+)
+
+BAD = textwrap.dedent("""
+    import time
+
+    def stamp():
+        return time.time()
+""")
+
+
+def test_pragma_on_offending_line_suppresses():
+    code = BAD.replace("return time.time()",
+                       "return time.time()  # simlint: ignore[SIM001]")
+    assert lint_source(code) == []
+
+
+def test_pragma_on_preceding_comment_line_suppresses():
+    code = BAD.replace(
+        "    return time.time()",
+        "    # simlint: ignore[SIM001]\n    return time.time()")
+    assert lint_source(code) == []
+
+
+def test_pragma_with_wrong_rule_does_not_suppress():
+    code = BAD.replace("return time.time()",
+                       "return time.time()  # simlint: ignore[SIM003]")
+    assert [v.rule.id for v in lint_source(code)] == ["SIM001"]
+
+
+def test_bare_ignore_suppresses_all_rules():
+    code = BAD.replace("return time.time()",
+                       "return time.time()  # simlint: ignore")
+    assert lint_source(code) == []
+
+
+def test_skip_file_pragma():
+    code = "# simlint: skip-file\n" + BAD
+    assert lint_source(code) == []
+
+
+def test_baseline_round_trip(tmp_path):
+    violations = lint_source(BAD, path="model.py")
+    assert violations
+
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(str(baseline_file), violations,
+                   justification="legacy wall-clock, tracked in #42")
+
+    data = json.loads(baseline_file.read_text())
+    [entry] = data["violations"].values()
+    assert entry["rule"] == "SIM001"
+    assert "legacy wall-clock" in entry["justification"]
+
+    baseline = load_baseline(str(baseline_file))
+    result = apply_baseline(
+        LintResult(violations=violations, files_checked=1), baseline)
+    assert result.ok
+    assert result.baselined == len(violations)
+
+
+def test_baseline_does_not_mask_new_violations(tmp_path):
+    old = lint_source(BAD, path="model.py")
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(str(baseline_file), old)
+
+    grown = BAD + textwrap.dedent("""
+        import os
+
+        def nonce():
+            return os.urandom(4)
+    """)
+    result = apply_baseline(
+        LintResult(violations=lint_source(grown, path="model.py"),
+                   files_checked=1),
+        load_baseline(str(baseline_file)))
+    assert not result.ok
+    assert [v.message for v in result.violations] == [
+        v.message for v in result.violations if "os.urandom" in v.message]
+
+
+def test_baseline_fingerprint_survives_line_moves(tmp_path):
+    old = lint_source(BAD, path="model.py")
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(str(baseline_file), old)
+
+    shifted = "\n\n\n# a comment pushing everything down\n" + BAD
+    result = apply_baseline(
+        LintResult(violations=lint_source(shifted, path="model.py"),
+                   files_checked=1),
+        load_baseline(str(baseline_file)))
+    assert result.ok
+
+
+def test_missing_baseline_file_is_empty():
+    assert load_baseline("/nonexistent/baseline.json") == {}
+
+
+def test_render_human_and_json():
+    result = LintResult(violations=lint_source(BAD, path="model.py"),
+                        files_checked=1)
+    human = render_human(result)
+    assert "SIM001" in human and "model.py" in human
+    parsed = json.loads(render_json(result))
+    assert parsed["violations"][0]["rule"] == "SIM001"
+    assert parsed["files_checked"] == 1

@@ -1,0 +1,65 @@
+"""The repo gate: src/repro must lint clean (this is the CI check,
+collected by pytest so a violation fails the suite locally too)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    RULES,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    render_human,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_src_repro_lints_clean():
+    result = lint_paths([str(REPO_ROOT / "src" / "repro")],
+                        root=str(REPO_ROOT))
+    baseline = load_baseline(str(REPO_ROOT / "simlint-baseline.json"))
+    result = apply_baseline(result, baseline)
+    assert result.ok, "\n" + render_human(result)
+    assert result.files_checked > 50
+
+
+def test_cli_exit_codes_and_json(tmp_path):
+    env_script = REPO_ROOT / "scripts" / "simlint.py"
+
+    clean = subprocess.run(
+        [sys.executable, str(env_script), str(REPO_ROOT / "src" / "repro"),
+         "--json"],
+        capture_output=True, text=True)
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    payload = json.loads(clean.stdout)
+    assert payload["violations"] == []
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    dirty = subprocess.run(
+        [sys.executable, str(env_script), str(bad), "--no-baseline"],
+        capture_output=True, text=True)
+    assert dirty.returncode == 1
+    assert "SIM001" in dirty.stdout
+
+
+def test_cli_list_rules():
+    out = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "simlint.py"),
+         "--list-rules"],
+        capture_output=True, text=True)
+    assert out.returncode == 0
+    for rule in RULES:
+        assert rule.id in out.stdout
+
+
+def test_rule_catalogue_is_well_formed():
+    ids = [r.id for r in RULES]
+    assert len(ids) == len(set(ids))
+    assert len(ids) >= 8
+    for r in RULES:
+        assert r.severity in ("error", "warning")
+        assert r.summary and r.rationale

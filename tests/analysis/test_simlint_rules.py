@@ -1,0 +1,409 @@
+"""One positive and one negative fixture per simlint rule."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def _lint(code, path="model.py", **kw):
+    return lint_source(textwrap.dedent(code), path=path, **kw)
+
+
+def _ids(violations):
+    return [v.rule.id for v in violations]
+
+
+# -- SIM001: wall-clock / OS entropy ------------------------------------
+
+def test_sim001_flags_wall_clock():
+    vs = _lint("""
+        import time
+
+        def latency_stamp():
+            return time.time()
+    """)
+    assert "SIM001" in _ids(vs)
+
+
+def test_sim001_flags_from_import_and_module_random():
+    vs = _lint("""
+        import os
+        import random
+        from datetime import datetime
+
+        def entropy():
+            a = os.urandom(8)
+            b = random.randint(0, 10)
+            c = datetime.now()
+            return a, b, c
+    """)
+    assert _ids(vs).count("SIM001") == 3
+
+
+def test_sim001_ok_with_sim_clock_and_seeded_rng():
+    vs = _lint("""
+        import random
+
+        def model(sim, seed):
+            rng = random.Random(seed)
+            return sim.now + rng.randint(0, 10)
+    """)
+    assert "SIM001" not in _ids(vs)
+
+
+def test_sim001_flags_numpy_module_random():
+    vs = _lint("""
+        import numpy as np
+
+        def noise():
+            return np.random.rand(4)
+    """)
+    assert "SIM001" in _ids(vs)
+
+
+def test_sim001_ok_numpy_seeded_generator():
+    vs = _lint("""
+        import numpy as np
+
+        def noise(seed):
+            rng = np.random.default_rng(seed)
+            return rng.random(4)
+    """)
+    assert _ids(vs) == []
+
+
+# -- SIM002: unordered iteration feeding scheduling ---------------------
+
+def test_sim002_flags_set_iteration_with_scheduling_body():
+    vs = _lint("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+
+            def kick(self):
+                for delay in self.pending:
+                    self.sim.timeout(delay)
+    """)
+    assert "SIM002" in _ids(vs)
+
+
+def test_sim002_flags_dict_view_with_yield_body():
+    vs = _lint("""
+        class Flusher:
+            def drain(self, table):
+                for key, ev in table.items():
+                    yield ev
+    """)
+    assert "SIM002" in _ids(vs)
+
+
+def test_sim002_ok_when_sorted():
+    vs = _lint("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+
+            def kick(self):
+                for delay in sorted(self.pending):
+                    self.sim.timeout(delay)
+
+            def drain(self, table):
+                for key, ev in sorted(table.items()):
+                    yield ev
+    """)
+    assert "SIM002" not in _ids(vs)
+
+
+def test_sim002_ok_without_scheduling_in_body():
+    # pure bookkeeping loops over dicts are insertion-ordered and fine
+    vs = _lint("""
+        class Stats:
+            def totals(self, counters):
+                out = 0
+                for name, n in counters.items():
+                    out += n
+                return out
+    """)
+    assert "SIM002" not in _ids(vs)
+
+
+def test_sim002_flags_set_comprehension_in_generator():
+    vs = _lint("""
+        class Cache:
+            def __init__(self):
+                self.dirty = set()
+
+            def writeback(self, io):
+                doomed = [k for k in self.dirty]
+                for k in doomed:
+                    yield io.write(k)
+    """)
+    assert "SIM002" in _ids(vs)
+
+
+def test_sim002_ok_comprehension_consumed_by_sorted():
+    vs = _lint("""
+        class Cache:
+            def __init__(self):
+                self.dirty = set()
+
+            def writeback(self, io):
+                doomed = sorted(k for k in self.dirty)
+                for k in doomed:
+                    yield io.write(k)
+    """)
+    assert "SIM002" not in _ids(vs)
+
+
+# -- SIM003: float into the integer-ns clock ----------------------------
+
+def test_sim003_flags_float_literal_delay():
+    vs = _lint("""
+        def proc(sim):
+            yield sim.timeout(1.5)
+    """)
+    assert "SIM003" in _ids(vs)
+
+
+def test_sim003_flags_true_division_delay():
+    vs = _lint("""
+        def proc(sim, nbytes, rate):
+            yield sim.timeout(nbytes / rate)
+    """)
+    assert "SIM003" in _ids(vs)
+
+
+def test_sim003_ok_int_cast_and_floor_division():
+    vs = _lint("""
+        def proc(sim, nbytes, rate):
+            yield sim.timeout(int(nbytes / rate))
+            yield sim.timeout(nbytes // rate)
+            yield sim.timeout(round(nbytes / rate))
+    """)
+    assert "SIM003" not in _ids(vs)
+
+
+def test_sim003_flags_float_on_now():
+    vs = _lint("""
+        def rewind(sim):
+            sim.now = 0.5
+    """)
+    assert "SIM003" in _ids(vs)
+
+
+# -- SIM004: yielding a raw value ---------------------------------------
+
+def test_sim004_flags_constant_yield_in_process():
+    vs = _lint("""
+        def proc(sim):
+            yield sim.timeout(10)
+            yield 42
+    """)
+    assert "SIM004" in _ids(vs)
+
+
+def test_sim004_ok_plain_data_generator():
+    # a generator that never yields events is not a sim process
+    vs = _lint("""
+        def walk(tree):
+            for node in tree:
+                yield node.name, node
+    """)
+    assert "SIM004" not in _ids(vs)
+
+
+# -- SIM005: double trigger ---------------------------------------------
+
+def test_sim005_flags_straight_line_double_succeed():
+    vs = _lint("""
+        def notify(ev):
+            ev.succeed(1)
+            ev.succeed(2)
+    """)
+    assert "SIM005" in _ids(vs)
+
+
+def test_sim005_ok_with_control_flow_between():
+    vs = _lint("""
+        def notify(ev, redo):
+            ev.succeed(1)
+            if redo:
+                return
+            other.succeed(2)
+    """)
+    assert "SIM005" not in _ids(vs)
+
+
+def test_sim005_flags_succeed_then_fail():
+    vs = _lint("""
+        def notify(ev):
+            ev.succeed(1)
+            ev.fail(RuntimeError("boom"))
+    """)
+    assert "SIM005" in _ids(vs)
+
+
+# -- SIM006: swallowed interrupt ----------------------------------------
+
+def test_sim006_flags_empty_interrupt_handler():
+    vs = _lint("""
+        def proc(sim, ev):
+            try:
+                yield ev
+            except Interrupt:
+                pass
+    """)
+    assert "SIM006" in _ids(vs)
+
+
+def test_sim006_ok_when_handled():
+    vs = _lint("""
+        def proc(sim, ev):
+            try:
+                yield ev
+            except Interrupt as intr:
+                record(intr.cause)
+                return None
+    """)
+    assert "SIM006" not in _ids(vs)
+
+
+# -- SIM007: cross-layer private mutation -------------------------------
+
+def test_sim007_flags_foreign_private_write():
+    vs = _lint("""
+        def setup(engine, size):
+            f = engine.create_file(size)
+            f._size = size
+    """)
+    assert "SIM007" in _ids(vs)
+
+
+def test_sim007_ok_own_attribute_and_module_friend():
+    vs = _lint("""
+        class File:
+            def __init__(self):
+                self._size = 0
+
+        def grow(f, n):
+            f._size = n   # _size is owned by a class in this module
+    """)
+    assert "SIM007" not in _ids(vs)
+
+
+# -- SIM008: missing __slots__ on hot-path classes ----------------------
+
+def test_sim008_flags_hot_dataclass_without_slots():
+    vs = _lint("""
+        from dataclasses import dataclass
+
+        @dataclass
+        class Command:
+            opcode: int
+            addr: int
+    """, is_hot_module=True)
+    assert "SIM008" in _ids(vs)
+
+
+def test_sim008_ok_with_slots_true_or_cold_module():
+    hot = _lint("""
+        from dataclasses import dataclass
+
+        @dataclass(slots=True)
+        class Command:
+            opcode: int
+    """, is_hot_module=True)
+    cold = _lint("""
+        from dataclasses import dataclass
+
+        @dataclass
+        class Config:
+            retries: int
+    """, is_hot_module=False)
+    assert "SIM008" not in _ids(hot)
+    assert "SIM008" not in _ids(cold)
+
+
+def test_sim008_flags_event_subclass_without_slots():
+    vs = _lint("""
+        class Sentinel(Event):
+            def __init__(self, sim):
+                super().__init__(sim)
+                self.extra = None
+    """, is_hot_module=True)
+    assert "SIM008" in _ids(vs)
+
+
+def test_sim008_exempts_enums():
+    vs = _lint("""
+        import enum
+
+        class Opcode(enum.Enum):
+            READ = 1
+    """, is_hot_module=True)
+    assert "SIM008" not in _ids(vs)
+
+
+# -- SIM009: unseeded RNG ------------------------------------------------
+
+def test_sim009_flags_unseeded_constructors():
+    vs = _lint("""
+        import random
+        import numpy as np
+
+        def build():
+            a = random.Random()
+            b = np.random.default_rng()
+            c = random.SystemRandom(1)
+            return a, b, c
+    """)
+    assert _ids(vs).count("SIM009") == 3
+
+
+def test_sim009_ok_seeded():
+    vs = _lint("""
+        import random
+        import numpy as np
+
+        def build(seed):
+            return random.Random(seed), np.random.default_rng(seed)
+    """)
+    assert "SIM009" not in _ids(vs)
+
+
+# -- SIM010: id() as key / ordering -------------------------------------
+
+def test_sim010_flags_id_as_container_key():
+    vs = _lint("""
+        class PerThread:
+            def __init__(self):
+                self.ctxs = {}
+
+            def ctx(self, thread):
+                got = self.ctxs.get(id(thread))
+                self.ctxs[id(thread)] = got
+                return got
+    """)
+    assert _ids(vs).count("SIM010") == 2
+
+
+def test_sim010_flags_sort_by_id():
+    vs = _lint("""
+        def order(threads):
+            return sorted(threads, key=id)
+    """)
+    assert "SIM010" in _ids(vs)
+
+
+def test_sim010_ok_deterministic_key():
+    vs = _lint("""
+        class PerThread:
+            def __init__(self):
+                self.ctxs = {}
+
+            def ctx(self, thread):
+                return self.ctxs.get(thread.tid)
+    """)
+    assert "SIM010" not in _ids(vs)

@@ -70,3 +70,26 @@ def test_container_helper_idempotent():
 def test_version_exported():
     import repro
     assert repro.__version__
+
+
+def test_sanitize_flag_attaches_sanitizer_without_changing_timeline():
+    def once(sanitize):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                    sanitize=sanitize)
+        proc = m.spawn_process()
+        lib = m.userlib(proc)
+        t = proc.new_thread()
+
+        def body():
+            f = yield from lib.open(t, "/s", write=True, create=True)
+            yield from f.append(t, 4096, b"s" * 4096)
+            yield from f.fsync(t)
+
+        m.run_process(body())
+        return m.now
+
+    plain = once(False)
+    sanitized = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                        sanitize=True)
+    assert sanitized.sim.sanitizer is not None
+    assert once(True) == plain
