@@ -3,10 +3,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint simlint-fix ruff mypy baseline
+.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# compare the span-measured latency matrix against BENCH_perf.json
+perf-track:
+	$(PYTHON) scripts/perf_track.py --check
+
+# refresh BENCH_perf.json after an intentional timing change
+perf-write:
+	$(PYTHON) scripts/perf_track.py --write
 
 # fails on any new simlint violation (baselined ones are tolerated)
 simlint:

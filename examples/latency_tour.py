@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """A tour of the paper's latency landscape, in one run.
 
-Prints four mini-experiments:
-- Table 1's layer-by-layer cost of a kernel read,
+Prints five mini-experiments:
+- a real span tree of one open/append/pread/fsync sequence, exported
+  to a Perfetto-loadable Chrome trace and a flamegraph stack file,
+- Table 1's layer-by-layer cost of a kernel read (span-measured),
 - the Figure 6 engine ladder at 4 KB and 128 KB,
 - the Figure 9 thread-scaling knee,
 - the Table 5 warm/cold fmap costs.
@@ -10,6 +12,10 @@ Prints four mini-experiments:
 Run:  python examples/latency_tour.py        (takes ~1 minute)
 """
 
+import pathlib
+import tempfile
+
+from repro import Machine
 from repro.bench import (
     fig6_fio_latency,
     fig9_thread_scaling,
@@ -17,9 +23,42 @@ from repro.bench import (
     table5_fmap_overheads,
 )
 from repro.hw.params import GiB, KiB, MiB
+from repro.obs.export import format_tree
+
+
+def span_tour() -> None:
+    """Trace one small workload and pretty-print where time went."""
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                trace=True)
+    proc = m.spawn_process("tour")
+    lib = m.userlib(proc)
+    t = proc.new_thread("tour-0")
+
+    def body():
+        f = yield from lib.open(t, "/tour", write=True, create=True)
+        yield from f.append(t, 8192, b"x" * 8192)
+        yield from f.pread(t, 0, 4096)
+        yield from f.fsync(t)
+        yield from f.close(t)
+
+    m.run_process(body())
+    print("Span tree of open/append/pread/fsync (BypassD UserLib):")
+    print(format_tree(m.tracer))
+
+    out = pathlib.Path(tempfile.gettempdir())
+    trace_path = out / "latency_tour.trace.json"
+    stacks_path = out / "latency_tour.stacks.txt"
+    m.write_chrome_trace(trace_path)
+    m.write_flamegraph(stacks_path)
+    print()
+    print(f"Chrome trace: {trace_path}  "
+          "(load at https://ui.perfetto.dev)")
+    print(f"Collapsed stacks: {stacks_path}  (flamegraph.pl/speedscope)")
 
 
 def main() -> None:
+    span_tour()
+
     table1_latency_breakdown().show()
 
     fig6_fio_latency(rw="randread",

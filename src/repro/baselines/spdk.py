@@ -138,11 +138,17 @@ class SPDKEngine:
                nbytes: int, data: Optional[bytes] = None) -> Generator:
         """Issue an LBA command: no permission check of any kind."""
         params = self.params
+        tracer = self.device.tracer
         yield from thread.compute(params.spdk_submit_ns)
         cmd = Command(opcode, addr=lba512, nbytes=nbytes,
                       addr_kind=AddressKind.LBA, data=data)
-        ev = self.device.submit(self._qp(thread), cmd)
-        completion = yield from thread.poll(ev)
+        token = tracer.begin("device", "spdk-io", thread=thread)
+        try:
+            tracer.stamp(cmd, thread=thread)
+            ev = self.device.submit(self._qp(thread), cmd)
+            completion = yield from thread.poll(ev)
+        finally:
+            tracer.end(token)
         yield from thread.compute(params.spdk_complete_ns)
         self.ios += 1
         if completion.status is not Status.SUCCESS:

@@ -60,26 +60,28 @@ def _machine(params: Optional[HardwareParams] = None,
 # ---------------------------------------------------------------------------
 
 def table1_latency_breakdown(ops: int = 64) -> ResultTable:
-    m = _machine()
-    job = FioJob(engine="sync", rw="randread", block_size=4096,
-                 file_size=32 * MiB, ops_per_thread=ops)
-    result = run_fio(m, job)
-    total = result.latency.mean_ns
-    p = m.params
-    device = p.device_read_ns(4096)
+    """Span-measured: every row is an aggregate over the real spans of
+    a clean measurement window (no constants from HardwareParams)."""
+    from ..obs.perf import PerfConfig, measure_breakdown
+
+    b = measure_breakdown(PerfConfig("table1-sync-4k", engine="sync",
+                                     rw="randread", block_size=4096,
+                                     ops=ops, file_size=32 * MiB))
+    total = b.mean_ns
     rows = [
-        ("Kernel->user mode switch", p.user_to_kernel_ns),
-        ("VFS + ext4", p.vfs_ext4_ns),
-        ("Block I/O layer", p.block_layer_ns),
-        ("NVMe driver", p.nvme_driver_ns),
-        ("Device time", device),
-        ("User->kernel mode switch", p.kernel_to_user_ns),
+        ("Kernel->user mode switch", b.layers.get("mode-switch-enter", 0.0)),
+        ("VFS + ext4", b.layers.get("vfs-ext4", 0.0)),
+        ("Block I/O layer", b.layers.get("block-layer", 0.0)),
+        ("NVMe driver", b.layers.get("nvme-driver", 0.0)),
+        ("Device time", b.device_ns),
+        ("User->kernel mode switch", b.layers.get("mode-switch-exit", 0.0)),
     ]
     table = ResultTable(
-        "Table 1: latency breakdown of 4KB read() (sync)",
+        "Table 1: latency breakdown of 4KB read() (sync, span-measured)",
         ["Layer", "Time (ns)", "% of total"],
         notes=f"Measured end-to-end mean: {total:.0f} ns "
-              f"(paper: 7850 ns)")
+              f"(paper: 7850 ns); rows aggregated from spans over "
+              f"{b.ops} ops")
     for layer, ns in rows:
         table.add(layer, ns, 100.0 * ns / total)
     table.add("Total (measured)", total, 100.0)
@@ -213,25 +215,21 @@ def fig7_latency_breakdown(sizes: Sequence[int] = _FIO_SIZES,
     """Measured with the span tracer: device time is the tracer's
     device spans, kernel time is the syscall span minus the device
     span, and user time is whatever remains of the op."""
+    from ..obs.perf import PerfConfig, measure_breakdown
+
     table = ResultTable(
         "Figure 7: random read latency breakdown (measured via spans)",
         ["Block size (KB)", "Engine", "User (us)", "Kernel (us)",
          "Device (us)", "Total (us)"])
     for size in sizes:
         for engine in ("sync", "bypassd"):
-            m = Machine(capacity_bytes=4 * GiB, memory_bytes=256 << 20,
-                        capture_data=False, trace=True)
-            job = FioJob(engine=engine, rw="randread", block_size=size,
-                         file_size=64 * MiB, ops_per_thread=ops,
-                         ramp_ops=0)
-            r = run_fio(m, job)
-            total = r.latency.mean_ns
-            device = m.tracer.total_ns("device") / r.latency.count
-            syscall = m.tracer.total_ns("syscall") / r.latency.count
-            kernel = max(0, syscall - device)
-            user = max(0, total - kernel - device)
-            table.add(size // 1024, engine, user / 1000, kernel / 1000,
-                      device / 1000, total / 1000)
+            b = measure_breakdown(PerfConfig(
+                f"fig7-{engine}-{size // 1024}k", engine=engine,
+                rw="randread", block_size=size, ops=ops,
+                file_size=64 * MiB))
+            table.add(size // 1024, engine, b.user_ns / 1000,
+                      b.kernel_ns / 1000, b.device_ns / 1000,
+                      b.mean_ns / 1000)
     return table
 
 

@@ -161,59 +161,69 @@ class UserLib:
     def pread(self, thread: Thread, state: FileState, offset: int,
               nbytes: int) -> Generator:
         """Returns (bytes_read, payload-or-None)."""
-        if not state.direct:
-            return (yield from self._kernel_read(thread, state, offset,
-                                                 nbytes))
-        self._refresh_size(state)
-        n = max(0, min(nbytes, state.size - offset))
-        if n == 0:
-            return 0, b""
-        if self.nonblocking_writes and state.pending_writes:
-            # Reads must see the latest data: order behind overlapping
-            # in-flight writes (Section 5.1's consistency cost).
-            yield from self._wait_pending(thread, state, offset, n)
         tracer = self.kernel.tracer
-        token = tracer.begin("user", "submit")
-        yield from thread.compute(self.params.userlib_submit_ns)
-        tracer.end(token)
-        aligned_off = (offset // SECTOR) * SECTOR
-        aligned_len = -(-(offset - aligned_off + n) // SECTOR) * SECTOR
-        completion = yield from self._issue(
-            thread, state, Opcode.READ, aligned_off, aligned_len, None)
-        if completion is None:
-            # Access revoked mid-stream; retry through the kernel.
-            return (yield from self._kernel_read(thread, state, offset,
-                                                 nbytes))
-        self.direct_reads += 1
-        token = tracer.begin("user", "complete+copy")
-        yield from thread.compute(self.params.userlib_complete_ns
-                                  + self.params.memcpy_ns(n))
-        tracer.end(token)
-        data = None
-        if completion.data is not None:
-            skip = offset - aligned_off
-            data = completion.data[skip:skip + n]
-        return n, data
+        op = tracer.begin("op", "pread", thread=thread)
+        try:
+            if not state.direct:
+                return (yield from self._kernel_read(thread, state,
+                                                     offset, nbytes))
+            self._refresh_size(state)
+            n = max(0, min(nbytes, state.size - offset))
+            if n == 0:
+                return 0, b""
+            if self.nonblocking_writes and state.pending_writes:
+                # Reads must see the latest data: order behind
+                # overlapping in-flight writes (Section 5.1's
+                # consistency cost).
+                yield from self._wait_pending(thread, state, offset, n)
+            token = tracer.begin("user", "submit", thread=thread)
+            yield from thread.compute(self.params.userlib_submit_ns)
+            tracer.end(token)
+            aligned_off = (offset // SECTOR) * SECTOR
+            aligned_len = -(-(offset - aligned_off + n) // SECTOR) * SECTOR
+            completion = yield from self._issue(
+                thread, state, Opcode.READ, aligned_off, aligned_len, None)
+            if completion is None:
+                # Access revoked mid-stream; retry through the kernel.
+                return (yield from self._kernel_read(thread, state,
+                                                     offset, nbytes))
+            self.direct_reads += 1
+            token = tracer.begin("user", "complete+copy", thread=thread)
+            yield from thread.compute(self.params.userlib_complete_ns
+                                      + self.params.memcpy_ns(n))
+            tracer.end(token)
+            data = None
+            if completion.data is not None:
+                skip = offset - aligned_off
+                data = completion.data[skip:skip + n]
+            return n, data
+        finally:
+            tracer.end(op)
 
     # -- writes ------------------------------------------------------------
 
     def pwrite(self, thread: Thread, state: FileState, offset: int,
                nbytes: int, data: Optional[bytes] = None) -> Generator:
         """Returns bytes written."""
-        if not state.direct:
-            return (yield from self.kernel.sys_pwrite(
-                self.proc, thread, state.fd, offset, nbytes, data))
-        if not state.writable:
-            raise PermissionError("file opened read-only")
-        self._refresh_size(state)
-        if offset + nbytes > state.size:
-            return (yield from self._extending_write(
-                thread, state, offset, nbytes, data))
-        if offset % SECTOR or nbytes % SECTOR:
-            return (yield from self._partial_write(
-                thread, state, offset, nbytes, data))
-        return (yield from self._overwrite(thread, state, offset,
-                                           nbytes, data))
+        tracer = self.kernel.tracer
+        op = tracer.begin("op", "pwrite", thread=thread)
+        try:
+            if not state.direct:
+                return (yield from self.kernel.sys_pwrite(
+                    self.proc, thread, state.fd, offset, nbytes, data))
+            if not state.writable:
+                raise PermissionError("file opened read-only")
+            self._refresh_size(state)
+            if offset + nbytes > state.size:
+                return (yield from self._extending_write(
+                    thread, state, offset, nbytes, data))
+            if offset % SECTOR or nbytes % SECTOR:
+                return (yield from self._partial_write(
+                    thread, state, offset, nbytes, data))
+            return (yield from self._overwrite(thread, state, offset,
+                                               nbytes, data))
+        finally:
+            tracer.end(op)
 
     @staticmethod
     def _refresh_size(state: FileState) -> None:
@@ -261,6 +271,7 @@ class UserLib:
         cmd = Command(Opcode.WRITE, addr=state.vba + offset,
                       nbytes=nbytes, addr_kind=AddressKind.VBA,
                       buffer_iova=ctx.buf.iova, data=data)
+        self.kernel.tracer.stamp(cmd, thread=thread)
         ev = self.device.submit(ctx.qp, cmd)
         if self.device.injector.may_drop:
             self.sim.process(self._async_abort_guard(ctx.qp, cmd, ev),
@@ -438,10 +449,17 @@ class UserLib:
             cmd = Command(opcode, addr=state.vba + file_off,
                           nbytes=nbytes, addr_kind=AddressKind.VBA,
                           buffer_iova=ctx.buf.iova, data=data)
-            ev = self.device.submit(ctx.qp, cmd)
-            token = tracer.begin("device", "direct-io")
-            completion = yield from self._poll_guarded(thread, ctx, cmd, ev)
-            tracer.end(token)
+            # Open the wait span before ringing the doorbell and stamp
+            # the command with it, so device-side phase spans parent
+            # here (a retry opens a fresh span under the same op).
+            token = tracer.begin("device", "direct-io", thread=thread)
+            try:
+                tracer.stamp(cmd, thread=thread)
+                ev = self.device.submit(ctx.qp, cmd)
+                completion = yield from self._poll_guarded(thread, ctx,
+                                                           cmd, ev)
+            finally:
+                tracer.end(token)
             if completion.ok:
                 return completion
             if completion.status is Status.TRANSLATION_FAULT:
@@ -480,13 +498,24 @@ class UserLib:
 
     def fsync(self, thread: Thread, state: FileState) -> Generator:
         """Flush this process's queues, then kernel fsync (Table 3)."""
-        if state.direct:
-            yield from self.drain_writes(thread, state)
-            for _tid, ctx in sorted(self._ctxs.items()):
-                ev = self.device.submit(
-                    ctx.qp, Command(Opcode.FLUSH, addr=0, nbytes=0))
-                yield from thread.poll(ev)
-        yield from self.kernel.sys_fsync(self.proc, thread, state.fd)
+        tracer = self.kernel.tracer
+        op = tracer.begin("op", "fsync", thread=thread)
+        try:
+            if state.direct:
+                yield from self.drain_writes(thread, state)
+                for _tid, ctx in sorted(self._ctxs.items()):
+                    cmd = Command(Opcode.FLUSH, addr=0, nbytes=0)
+                    token = tracer.begin("device", "direct-io",
+                                         thread=thread)
+                    try:
+                        tracer.stamp(cmd, thread=thread)
+                        ev = self.device.submit(ctx.qp, cmd)
+                        yield from thread.poll(ev)
+                    finally:
+                        tracer.end(token)
+            yield from self.kernel.sys_fsync(self.proc, thread, state.fd)
+        finally:
+            tracer.end(op)
 
 
 class BypassDFile:

@@ -107,17 +107,30 @@ class BlockIOLayer:
             charge_irq: bool) -> Generator:
         """Submit + wait with the full retry policy; returns read data."""
         if charge_layers:
+            token = self.tracer.begin("kernel", "block-layer",
+                                      thread=thread)
             yield from thread.compute(self.params.block_layer_ns)
+            self.tracer.end(token)
+            token = self.tracer.begin("kernel", "nvme-driver",
+                                      thread=thread)
             yield from thread.compute(self.params.nvme_driver_ns)
+            self.tracer.end(token)
         qp = self._queue_for(thread)
         attempt = 0
         while True:
             cmd = Command(opcode, addr=lba512, nbytes=nbytes, data=data)
             self.requests += 1
-            ev = self.device.submit(qp, cmd)
-            token = self.tracer.begin("device", "kernel-io")
-            completion = yield from self._wait_guarded(thread, qp, cmd, ev)
-            self.tracer.end(token)
+            # Open the wait span before ringing the doorbell and stamp
+            # the command with it, so the device's "nvme" phase spans
+            # parent under this span (a retry opens a fresh one).
+            token = self.tracer.begin("device", "kernel-io", thread=thread)
+            try:
+                self.tracer.stamp(cmd, thread=thread)
+                ev = self.device.submit(qp, cmd)
+                completion = yield from self._wait_guarded(thread, qp,
+                                                           cmd, ev)
+            finally:
+                self.tracer.end(token)
             if charge_irq and self.params.irq_completion_ns:
                 yield from thread.compute(self.params.irq_completion_ns)
             if completion.ok:
@@ -164,11 +177,18 @@ class BlockIOLayer:
         completion would strand the reaper forever.
         """
         if charge_layers:
+            token = self.tracer.begin("kernel", "block-layer",
+                                      thread=thread)
             yield from thread.compute(self.params.block_layer_ns)
+            self.tracer.end(token)
+            token = self.tracer.begin("kernel", "nvme-driver",
+                                      thread=thread)
             yield from thread.compute(self.params.nvme_driver_ns)
+            self.tracer.end(token)
         qp = self._queue_for(thread)
         cmd = Command(opcode, addr=lba512, nbytes=nbytes, data=data)
         self.requests += 1
+        self.tracer.stamp(cmd, thread=thread)
         ev = self.device.submit(qp, cmd)
         if self.device.injector.may_drop:
             self.sim.process(self._async_abort_guard(qp, cmd, ev),
@@ -187,8 +207,13 @@ class BlockIOLayer:
     def flush(self, thread: Thread) -> Generator:
         qp = self._queue_for(thread)
         cmd = Command(Opcode.FLUSH, addr=0, nbytes=0)
-        ev = self.device.submit(qp, cmd)
-        completion = yield from self._wait_guarded(thread, qp, cmd, ev)
+        token = self.tracer.begin("device", "kernel-io", thread=thread)
+        try:
+            self.tracer.stamp(cmd, thread=thread)
+            ev = self.device.submit(qp, cmd)
+            completion = yield from self._wait_guarded(thread, qp, cmd, ev)
+        finally:
+            self.tracer.end(token)
         if not completion.ok:
             self.io_errors += 1
             raise IOError_(completion)

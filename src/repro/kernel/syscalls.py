@@ -87,10 +87,23 @@ class Kernel:
 
     def _enter(self, thread: Thread) -> Generator:
         self.syscall_count += 1
+        token = self.tracer.begin("kernel", "mode-switch-enter",
+                                  thread=thread)
         yield from thread.compute(self.params.user_to_kernel_ns)
+        self.tracer.end(token)
 
     def _exit(self, thread: Thread) -> Generator:
+        token = self.tracer.begin("kernel", "mode-switch-exit",
+                                  thread=thread)
         yield from thread.compute(self.params.kernel_to_user_ns)
+        self.tracer.end(token)
+
+    def _vfs(self, thread: Thread, ns: Optional[int] = None) -> Generator:
+        """Charge (and trace) the VFS + ext4 software layer."""
+        token = self.tracer.begin("kernel", "vfs-ext4", thread=thread)
+        yield from thread.compute(
+            self.params.vfs_ext4_ns if ns is None else ns)
+        self.tracer.end(token)
 
     # -- open/close ---------------------------------------------------------
 
@@ -103,23 +116,27 @@ class Kernel:
         followed by fmap(); those do not count as kernel-interface
         openers for the sharing rules of Section 4.5.2.
         """
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.open_base_ns)
-        path = proc.resolve_path(path)
-        if (flags & O_CREAT) and not self.fs.exists(path):
-            inode = self.fs.create(path, mode, proc.uid,
-                                   min(proc.gids))
-        else:
-            inode = self.fs.lookup(path)
-        self._check_access(proc, inode, flags)
-        fdesc = proc.install_fd(path, inode, flags)
-        if not bypass_intent:
-            inode.kernel_openers += 1
-            if inode.fmap_attachments and self.bypassd is not None:
-                # A kernel-interface open on an fmap()ed file forces the
-                # mappers back to the kernel path (Section 4.5.2).
-                self.bypassd.revoke(inode)
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "open", thread=thread)
+        try:
+            yield from self._enter(thread)
+            yield from thread.compute(self.params.open_base_ns)
+            path = proc.resolve_path(path)
+            if (flags & O_CREAT) and not self.fs.exists(path):
+                inode = self.fs.create(path, mode, proc.uid,
+                                       min(proc.gids))
+            else:
+                inode = self.fs.lookup(path)
+            self._check_access(proc, inode, flags)
+            fdesc = proc.install_fd(path, inode, flags)
+            if not bypass_intent:
+                inode.kernel_openers += 1
+                if inode.fmap_attachments and self.bypassd is not None:
+                    # A kernel-interface open on an fmap()ed file forces
+                    # the mappers back to the kernel path (Section 4.5.2).
+                    self.bypassd.revoke(inode)
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
         return fdesc.fd
 
     def _check_access(self, proc: Process, inode: Inode,
@@ -136,17 +153,21 @@ class Kernel:
 
     def sys_close(self, proc: Process, thread: Thread,
                   fd: int) -> Generator:
-        yield from self._enter(thread)
-        fdesc = proc.drop_fd(fd)
-        inode = fdesc.inode
-        if fdesc.vba and self.bypassd is not None:
-            self.bypassd.on_close(proc, fdesc)
-        elif inode.kernel_openers > 0:
-            inode.kernel_openers -= 1
-        if fdesc.accessed or fdesc.modified:
-            self.fs.update_timestamps(inode, fdesc.accessed,
-                                      fdesc.modified)
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "close", thread=thread)
+        try:
+            yield from self._enter(thread)
+            fdesc = proc.drop_fd(fd)
+            inode = fdesc.inode
+            if fdesc.vba and self.bypassd is not None:
+                self.bypassd.on_close(proc, fdesc)
+            elif inode.kernel_openers > 0:
+                inode.kernel_openers -= 1
+            if fdesc.accessed or fdesc.modified:
+                self.fs.update_timestamps(inode, fdesc.accessed,
+                                          fdesc.modified)
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
 
     # -- data path (kernel interface) -------------------------------------
 
@@ -156,22 +177,24 @@ class Kernel:
         fdesc = proc.get_fd(fd)
         if not fdesc.readable:
             raise PermissionError_("fd not open for reading")
-        token = self.tracer.begin("syscall", "pread")
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.vfs_ext4_ns)
-        inode = fdesc.inode
-        n = max(0, min(nbytes, inode.size - offset))
-        data: Optional[bytes] = b"" if n == 0 else None
-        if n > 0:
-            if fdesc.direct:
-                data = yield from self._direct_read(thread, inode,
-                                                    offset, n)
-            else:
-                data = yield from self._buffered_read(thread, inode,
-                                                      offset, n)
-        fdesc.accessed = True
-        yield from self._exit(thread)
-        self.tracer.end(token)
+        token = self.tracer.begin("syscall", "pread", thread=thread)
+        try:
+            yield from self._enter(thread)
+            yield from self._vfs(thread)
+            inode = fdesc.inode
+            n = max(0, min(nbytes, inode.size - offset))
+            data: Optional[bytes] = b"" if n == 0 else None
+            if n > 0:
+                if fdesc.direct:
+                    data = yield from self._direct_read(thread, inode,
+                                                        offset, n)
+                else:
+                    data = yield from self._buffered_read(thread, inode,
+                                                          offset, n)
+            fdesc.accessed = True
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
         return n, data
 
     def _direct_read(self, thread: Thread, inode: Inode, offset: int,
@@ -241,28 +264,32 @@ class Kernel:
             raise PermissionError_("fd not open for writing")
         if data is not None and len(data) != nbytes:
             raise ValueError("payload length mismatch")
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.vfs_ext4_ns)
-        inode = fdesc.inode
-        lock = self._write_lock(inode)
-        yield from thread.block(lock.acquire())
+        token = self.tracer.begin("syscall", "pwrite", thread=thread)
         try:
-            if fdesc.append_mode:
-                offset = inode.size
-            yield from self._extend_for_write(thread, inode, offset,
-                                              nbytes)
-            if fdesc.direct:
-                yield from self._direct_write(thread, inode, offset,
-                                              nbytes, data)
-            else:
-                yield from self._buffered_write(thread, inode, offset,
-                                                nbytes, data)
-            if offset + nbytes > inode.size:
-                self.fs.set_size(inode, offset + nbytes)
+            yield from self._enter(thread)
+            yield from self._vfs(thread)
+            inode = fdesc.inode
+            lock = self._write_lock(inode)
+            yield from thread.block(lock.acquire())
+            try:
+                if fdesc.append_mode:
+                    offset = inode.size
+                yield from self._extend_for_write(thread, inode, offset,
+                                                  nbytes)
+                if fdesc.direct:
+                    yield from self._direct_write(thread, inode, offset,
+                                                  nbytes, data)
+                else:
+                    yield from self._buffered_write(thread, inode, offset,
+                                                    nbytes, data)
+                if offset + nbytes > inode.size:
+                    self.fs.set_size(inode, offset + nbytes)
+            finally:
+                lock.release()
+            fdesc.modified = True
+            yield from self._exit(thread)
         finally:
-            lock.release()
-        fdesc.modified = True
-        yield from self._exit(thread)
+            self.tracer.end(token)
         return nbytes
 
     def _extend_for_write(self, thread: Thread, inode: Inode,
@@ -382,24 +409,28 @@ class Kernel:
         fdesc = proc.get_fd(fd)
         if not fdesc.writable:
             raise PermissionError_("fd not open for appending")
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.vfs_ext4_ns)
-        inode = fdesc.inode
-        lock = self._write_lock(inode)
-        yield from thread.block(lock.acquire())
+        token = self.tracer.begin("syscall", "append", thread=thread)
         try:
-            offset = inode.size
-            yield from self._extend_for_write(thread, inode, offset,
-                                              nbytes)
-            # Unbuffered write straight to the device (sub-sector
-            # alignment is handled by the write path's RMW).
-            yield from self._direct_write(thread, inode, offset, nbytes,
-                                          data)
-            self.fs.set_size(inode, offset + nbytes)
+            yield from self._enter(thread)
+            yield from self._vfs(thread)
+            inode = fdesc.inode
+            lock = self._write_lock(inode)
+            yield from thread.block(lock.acquire())
+            try:
+                offset = inode.size
+                yield from self._extend_for_write(thread, inode, offset,
+                                                  nbytes)
+                # Unbuffered write straight to the device (sub-sector
+                # alignment is handled by the write path's RMW).
+                yield from self._direct_write(thread, inode, offset,
+                                              nbytes, data)
+                self.fs.set_size(inode, offset + nbytes)
+            finally:
+                lock.release()
+            fdesc.modified = True
+            yield from self._exit(thread)
         finally:
-            lock.release()
-        fdesc.modified = True
-        yield from self._exit(thread)
+            self.tracer.end(token)
         return offset
 
     def sys_fallocate(self, proc: Process, thread: Thread, fd: int,
@@ -407,71 +438,91 @@ class Kernel:
         fdesc = proc.get_fd(fd)
         if not fdesc.writable:
             raise PermissionError_("fd not open for writing")
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.vfs_ext4_ns)
-        inode = fdesc.inode
-        yield from self.fs.fallocate(inode, offset, length)
-        fdesc.modified = True
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "fallocate", thread=thread)
+        try:
+            yield from self._enter(thread)
+            yield from self._vfs(thread)
+            inode = fdesc.inode
+            yield from self.fs.fallocate(inode, offset, length)
+            fdesc.modified = True
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
 
     def sys_ftruncate(self, proc: Process, thread: Thread, fd: int,
                       length: int) -> Generator:
         fdesc = proc.get_fd(fd)
         if not fdesc.writable:
             raise PermissionError_("fd not open for writing")
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.vfs_ext4_ns)
-        inode = fdesc.inode
-        if self.bypassd is not None and inode.file_table is not None:
-            # Detach before blocks are freed so no stale FTE survives.
-            self.bypassd.on_truncate(inode, length)
-        shrinking = length < inode.size
-        yield from self.fs.truncate(inode, length)
-        if shrinking and length % PAGE and \
-                self.fs.bmap(inode, length // PAGE) is not None:
-            # Zero the tail of the (kept) final block so a later
-            # size extension cannot resurrect stale bytes.
-            block_end = (length // PAGE + 1) * PAGE
-            pad = block_end - length
-            yield from self._direct_write(thread, inode, length, pad,
-                                          bytes(pad))
-        self.pagecache.invalidate_inode(inode.ino)
-        fdesc.modified = True
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "ftruncate", thread=thread)
+        try:
+            yield from self._enter(thread)
+            yield from self._vfs(thread)
+            inode = fdesc.inode
+            if self.bypassd is not None and inode.file_table is not None:
+                # Detach before blocks are freed so no stale FTE survives.
+                self.bypassd.on_truncate(inode, length)
+            shrinking = length < inode.size
+            yield from self.fs.truncate(inode, length)
+            if shrinking and length % PAGE and \
+                    self.fs.bmap(inode, length // PAGE) is not None:
+                # Zero the tail of the (kept) final block so a later
+                # size extension cannot resurrect stale bytes.
+                block_end = (length // PAGE + 1) * PAGE
+                pad = block_end - length
+                yield from self._direct_write(thread, inode, length, pad,
+                                              bytes(pad))
+            self.pagecache.invalidate_inode(inode.ino)
+            fdesc.modified = True
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
 
     def sys_fsync(self, proc: Process, thread: Thread,
                   fd: int) -> Generator:
         fdesc = proc.get_fd(fd)
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.vfs_ext4_ns // 2)
-        inode = fdesc.inode
-        yield from self.pagecache.sync_inode(thread, inode)
-        if fdesc.accessed or fdesc.modified:
-            self.fs.update_timestamps(inode, fdesc.accessed,
-                                      fdesc.modified)
-            fdesc.accessed = fdesc.modified = False
-        yield from thread.compute(self.params.journal_commit_ns)
-        yield from self.fs.fsync(inode)
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "fsync", thread=thread)
+        try:
+            yield from self._enter(thread)
+            yield from self._vfs(thread, self.params.vfs_ext4_ns // 2)
+            inode = fdesc.inode
+            yield from self.pagecache.sync_inode(thread, inode)
+            if fdesc.accessed or fdesc.modified:
+                self.fs.update_timestamps(inode, fdesc.accessed,
+                                          fdesc.modified)
+                fdesc.accessed = fdesc.modified = False
+            yield from thread.compute(self.params.journal_commit_ns)
+            yield from self.fs.fsync(inode)
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
 
     def sys_unlink(self, proc: Process, thread: Thread,
                    path: str) -> Generator:
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.open_base_ns)
-        path = proc.resolve_path(path)
-        inode = self.fs.lookup(path)
-        if self.bypassd is not None and inode.fmap_attachments:
-            self.bypassd.revoke(inode)
-        self.pagecache.invalidate_inode(inode.ino)
-        self.fs.unlink(path)
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "unlink", thread=thread)
+        try:
+            yield from self._enter(thread)
+            yield from thread.compute(self.params.open_base_ns)
+            path = proc.resolve_path(path)
+            inode = self.fs.lookup(path)
+            if self.bypassd is not None and inode.fmap_attachments:
+                self.bypassd.revoke(inode)
+            self.pagecache.invalidate_inode(inode.ino)
+            self.fs.unlink(path)
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
 
     def sys_stat(self, proc: Process, thread: Thread,
                  path: str) -> Generator:
-        yield from self._enter(thread)
-        yield from thread.compute(self.params.open_base_ns // 2)
-        inode = self.fs.lookup(proc.resolve_path(path))
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "stat", thread=thread)
+        try:
+            yield from self._enter(thread)
+            yield from thread.compute(self.params.open_base_ns // 2)
+            inode = self.fs.lookup(proc.resolve_path(path))
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
         return inode.attrs
 
     # -- BypassD entry point ---------------------------------------------------
@@ -486,7 +537,11 @@ class Kernel:
         if self.bypassd is None:
             return 0
         fdesc = proc.get_fd(fd)
-        yield from self._enter(thread)
-        vba = yield from self.bypassd.fmap(proc, thread, fdesc)
-        yield from self._exit(thread)
+        token = self.tracer.begin("syscall", "fmap", thread=thread)
+        try:
+            yield from self._enter(thread)
+            vba = yield from self.bypassd.fmap(proc, thread, fdesc)
+            yield from self._exit(thread)
+        finally:
+            self.tracer.end(token)
         return vba

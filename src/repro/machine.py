@@ -49,6 +49,7 @@ from .kernel.pagecache import PageCache
 from .kernel.process import Process
 from .kernel.syscalls import Kernel
 from .nvme.device import NVMeDevice
+from .obs.metrics import MetricsRegistry
 from .sim.cpu import CPUSet
 from .sim.engine import Simulator
 from .sim.stats import Stats
@@ -72,8 +73,10 @@ class Machine:
         self.params = params if params is not None else DEFAULT_PARAMS
         self.sim = Simulator(sanitize=sanitize)
         self.tracer = Tracer(self.sim) if trace else NULL_TRACER
+        self.metrics = MetricsRegistry()
         self.faults = self._resolve_injector(faults)
         self.faults.tracer = self.tracer
+        self.faults.metrics = self.metrics
         self.cpus = CPUSet(self.sim, self.params.cpu_cores)
         self.memory = PhysicalMemory(memory_bytes)
         self.iommu = IOMMU(self.params, cache_ftes=cache_ftes)
@@ -81,6 +84,7 @@ class Machine:
                                  devid=1, capacity_bytes=capacity_bytes,
                                  capture_data=capture_data,
                                  injector=self.faults)
+        self.device.tracer = self.tracer
         self.volume = KernelVolume(self.sim, self.params, self.device)
         self._capacity_bytes = capacity_bytes
         self.fs = Ext4Filesystem.mkfs(capacity_bytes, devid=1,
@@ -176,6 +180,28 @@ class Machine:
         """Start a workload on ``thread``; the core is released when it
         finishes (see :meth:`repro.sim.cpu.Thread.run`)."""
         return self.sim.process(thread.run(gen), name=name or thread.name)
+
+    # -- observability --------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The machine's metrics, refreshed from the layer counters.
+
+        Live instruments (fault counters, workload histograms) are
+        already in :attr:`metrics`; this folds in a ``machine.``-prefixed
+        snapshot of :meth:`stats` so one registry holds everything.
+        """
+        self.stats().to_metrics(self.metrics, prefix="machine.")
+        return self.metrics
+
+    def write_chrome_trace(self, path) -> str:
+        """Export the tracer's spans as Chrome trace JSON (Perfetto)."""
+        from .obs.export import write_chrome_trace
+        return write_chrome_trace(self.tracer, path)
+
+    def write_flamegraph(self, path) -> str:
+        """Export collapsed stacks weighted by span self-time."""
+        from .obs.export import write_flamegraph
+        return write_flamegraph(self.tracer, path)
 
     # -- fault accounting / recovery -----------------------------------------
 

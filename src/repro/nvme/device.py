@@ -33,6 +33,7 @@ from ..hw.params import HardwareParams
 from ..hw.pcie import PCIeLink
 from ..sim.engine import Event, Simulator
 from ..sim.resources import Resource, Store
+from ..sim.trace import NULL_TRACER
 from .backend import MediaBackend
 from .queues import QueuePair
 from .scheduler import RoundRobinArbiter
@@ -68,6 +69,10 @@ class NVMeDevice:
         self.iommu = iommu
         self.devid = devid
         self.injector = injector if injector is not None else NO_FAULTS
+        # Set by Machine when tracing is on.  Device-side phase spans
+        # (category "nvme") parent under the host's wait span through
+        # the (trace_id, span_id) context stamped on each Command.
+        self.tracer = NULL_TRACER
         self.link = PCIeLink(params)
         self.backend = MediaBackend(params, capacity_bytes,
                                     capture_data=capture_data)
@@ -180,11 +185,16 @@ class NVMeDevice:
     def _execute(self, qp: QueuePair,
                  cmd: Command) -> Generator[Event, object, None]:
         sim, params = self.sim, self.params
+        tr = self.tracer
         # The doorbell write plus command fetch over PCIe.
+        token = tr.begin("nvme", "fetch", parent=cmd.trace)
         yield sim.timeout(params.command_fetch_ns)
+        tr.end(token)
 
         if cmd.opcode is Opcode.FLUSH:
+            token = tr.begin("nvme", "flush", parent=cmd.trace)
             yield sim.timeout(params.flush_ns)
+            tr.end(token)
             self._complete(qp, cmd, Status.SUCCESS)
             return
 
@@ -260,7 +270,9 @@ class NVMeDevice:
         if cmd.is_write:
             yield from self._do_write(cmd, segments, translation_ns)
             data = None
+            token = tr.begin("nvme", "complete", parent=cmd.trace)
             yield sim.timeout(params.completion_post_ns)
+            tr.end(token)
             self._complete(qp, cmd, Status.SUCCESS, data=data,
                            nbytes=cmd.nbytes)
             return
@@ -277,21 +289,29 @@ class NVMeDevice:
     def _await_translation(self, qp: QueuePair, cmd: Command,
                            segments: List[Tuple[int, int]],
                            translation_ns: int):
+        token = self.tracer.begin("nvme", "translate", parent=cmd.trace)
         yield self.sim.timeout(translation_ns)
+        self.tracer.end(token)
         self._translated.put((qp, cmd, segments))
         self._work.put((qp.qid, cmd.cid))
 
     def _serve_read(self, qp: QueuePair, cmd: Command,
                     segments: List[Tuple[int, int]]):
         data = yield from self._do_read(cmd, segments)
+        token = self.tracer.begin("nvme", "complete", parent=cmd.trace)
         yield self.sim.timeout(self.params.completion_post_ns)
+        self.tracer.end(token)
         self._complete(qp, cmd, Status.SUCCESS, data=data,
                        nbytes=cmd.nbytes)
 
     def _do_read(self, cmd: Command,
                  segments: List[Tuple[int, int]]):
+        token = self.tracer.begin("nvme", "media", parent=cmd.trace)
         yield self.sim.timeout(self.backend.media_ns(Opcode.READ))
+        self.tracer.end(token)
+        token = self.tracer.begin("nvme", "transfer", parent=cmd.trace)
         yield from self._transfer(cmd.nbytes)
+        self.tracer.end(token)
         chunks = []
         for lba, nblocks in segments:
             chunk = self.backend.read_blocks(lba, nblocks)
@@ -303,12 +323,19 @@ class NVMeDevice:
                   translation_ns: int):
         # Host->device transfer overlaps the VBA translation (Section 4.3):
         # data lands in device memory while the IOMMU resolves the LBA.
+        tr = self.tracer
         t0 = self.sim.now
+        token = tr.begin("nvme", "transfer", parent=cmd.trace)
         yield from self._transfer(cmd.nbytes)
+        tr.end(token)
         elapsed = self.sim.now - t0
         if translation_ns > elapsed:
+            token = tr.begin("nvme", "translate", parent=cmd.trace)
             yield self.sim.timeout(translation_ns - elapsed)
+            tr.end(token)
+        token = tr.begin("nvme", "media", parent=cmd.trace)
         yield self.sim.timeout(self.backend.media_ns(Opcode.WRITE))
+        tr.end(token)
         offset = 0
         for lba, nblocks in segments:
             chunk = None

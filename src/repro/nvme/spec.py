@@ -13,7 +13,7 @@ import enum
 import errno as _errno
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 __all__ = [
     "Opcode",
@@ -84,6 +84,10 @@ class Command:
     buffer_iova: int = 0           # host DMA target/source
     data: Optional[bytes] = None   # payload for writes (None = timing-only)
     cid: int = field(default_factory=lambda: next(_cid_counter))
+    # Host trace context (trace_id, span_id) stamped by the submitter
+    # so device-side phase spans parent under the host's wait span.
+    # Carries no timing information; None when tracing is off.
+    trace: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.opcode is not Opcode.FLUSH:

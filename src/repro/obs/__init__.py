@@ -1,0 +1,45 @@
+"""repro.obs — cross-cutting observability.
+
+Three pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  log-linear histograms (p50/p99/p999 within one bucket's relative
+  error) that absorbs the ad-hoc ``Stats``/counter dicts.
+* :mod:`repro.obs.export` — exporters over the hierarchical spans of
+  :class:`repro.sim.trace.Tracer`: Chrome ``trace_event`` JSON
+  (loadable in Perfetto), collapsed-stack flamegraphs, span-tree
+  fingerprints and a pretty-printer.
+* :mod:`repro.obs.perf` — the pinned workload matrix behind
+  ``scripts/perf_track.py`` and the span-measured Table 1 / Figure 7
+  breakdown.  (Import it as ``repro.obs.perf``; it is not imported
+  here to keep ``repro.machine`` ↔ ``repro.obs`` import-cycle free.)
+"""
+
+from .export import (
+    ancestor_chain,
+    chrome_trace_json,
+    collapsed_stacks,
+    format_tree,
+    metrics_json,
+    span_index,
+    tree_fingerprint,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ancestor_chain",
+    "chrome_trace_json",
+    "collapsed_stacks",
+    "format_tree",
+    "metrics_json",
+    "span_index",
+    "tree_fingerprint",
+    "write_chrome_trace",
+    "write_flamegraph",
+]

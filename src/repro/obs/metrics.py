@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges, log-linear histograms.
+
+Naming convention (see ``docs/observability.md``): dotted lowercase
+paths, ``<subsystem>.<metric>`` — e.g. ``faults.media_read_error``,
+``fio.lat_ns``, ``machine.device_commands_served``.  Time-valued
+metrics carry a ``_ns`` suffix.
+
+The histogram uses HdrHistogram-style log-linear buckets: values below
+``2**sub_bits`` get exact unit buckets; above that, each power-of-two
+range is split into ``2**sub_bits`` linear sub-buckets, so any
+reported quantile is within a relative error of ``2**-sub_bits`` of
+the exact sample.  Percentiles follow the same nearest-rank convention
+as :func:`repro.sim.stats.percentile` (rank = ceil(pct/100 * n)).
+
+Everything is deterministic: snapshots are plain dicts with sorted
+keys, so a JSON dump of the same run is byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer (resettable via absorb)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time numeric value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket log-linear histogram of non-negative integers.
+
+    ``sub_bits=5`` (the default) bounds the relative quantile error at
+    1/32 ≈ 3.1%; count and sum are exact.
+    """
+
+    __slots__ = ("name", "sub_bits", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, sub_bits: int = 5):
+        if not 0 < sub_bits < 16:
+            raise ValueError(f"sub_bits out of range: {sub_bits}")
+        self.name = name
+        self.sub_bits = sub_bits
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    # -- bucket arithmetic -------------------------------------------------
+
+    def _index(self, value: int) -> int:
+        sub = 1 << self.sub_bits
+        if value < sub:
+            return value
+        msb = value.bit_length() - 1
+        shift = msb - self.sub_bits
+        return ((shift + 1) << self.sub_bits) + ((value >> shift) - sub)
+
+    def bucket_bounds(self, index: int) -> Tuple[int, int]:
+        """Inclusive ``(lower, upper)`` value range of a bucket."""
+        sub = 1 << self.sub_bits
+        if index < sub:
+            return index, index
+        shift = (index >> self.sub_bits) - 1
+        lower = (sub + (index & (sub - 1))) << shift
+        return lower, lower + (1 << shift) - 1
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, value: int, n: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative value {value}")
+        if n <= 0:
+            raise ValueError(f"histogram {self.name}: non-positive count {n}")
+        value = int(value)
+        idx = self._index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + n
+        self.count += n
+        self.sum += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[int]) -> None:
+        for v in values:
+            self.record(v)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into self (same sub_bits required)."""
+        if other.sub_bits != self.sub_bits:
+            raise ValueError("cannot merge histograms with different "
+                             f"sub_bits: {self.sub_bits} vs {other.sub_bits}")
+        for idx, n in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+
+    # -- quantiles ---------------------------------------------------------
+
+    def percentile(self, pct: float) -> int:
+        """Nearest-rank percentile, reported as the containing bucket's
+        upper bound (clamped to the observed max)."""
+        if self.count == 0:
+            raise ValueError("no samples")
+        if pct <= 0:
+            return int(self.min)  # type: ignore[arg-type]
+        rank = min(self.count, math.ceil(pct / 100.0 * self.count))
+        cum = 0
+        for idx in sorted(self.counts):
+            cum += self.counts[idx]
+            if cum >= rank:
+                _, upper = self.bucket_bounds(idx)
+                return min(upper, self.max)  # type: ignore[arg-type]
+        raise AssertionError("unreachable: rank exceeded total count")
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self.sum / self.count
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": int(self.min),       # type: ignore[arg-type]
+            "max": int(self.max),       # type: ignore[arg-type]
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }
+
+
+class MetricsRegistry:
+    """A flat namespace of metrics, keyed by dotted name.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument afterwards; asking for a name that already
+    holds a different instrument kind is an error.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, own: Dict) -> None:
+        for kind, table in (("counter", self._counters),
+                            ("gauge", self._gauges),
+                            ("histogram", self._histograms)):
+            if table is not own and name in table:
+                raise ValueError(f"metric {name!r} already registered "
+                                 f"as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, sub_bits: int = 5) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(name, sub_bits)
+        return h
+
+    def absorb_counters(self, values: Dict[str, int],
+                        prefix: str = "") -> None:
+        """Set counters from a snapshot dict (e.g. ``Stats.summary()``).
+
+        Unlike :meth:`Counter.inc` this *sets* the value, so absorbing
+        the same snapshot twice is idempotent.
+        """
+        for key in sorted(values):
+            self.counter(prefix + key).value = int(values[key])
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return {name: self._counters[name].value
+                for name in sorted(self._counters)}
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict dump with sorted keys (machine-readable export)."""
+        return {
+            "counters": self.counters_snapshot(),
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].summary()
+                           for name in sorted(self._histograms)},
+        }
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])

@@ -288,5 +288,14 @@ class Stats:
             out[f"injected_{kind}"] = n
         return out
 
+    def to_metrics(self, registry, prefix: str = "machine.") -> None:
+        """Mirror this snapshot into a metrics registry as counters.
+
+        Values are *set*, not incremented, so refreshing from a newer
+        snapshot is idempotent (see
+        :meth:`repro.obs.metrics.MetricsRegistry.absorb_counters`).
+        """
+        registry.absorb_counters(self.summary(), prefix=prefix)
+
     def nonzero(self) -> Dict[str, int]:
         return {k: v for k, v in self.summary().items() if v}

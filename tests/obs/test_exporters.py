@@ -1,0 +1,141 @@
+"""Exporter unit tests: Chrome trace shape, flamegraph self-time
+accounting, fingerprint sensitivity, tree rendering, metrics dump."""
+
+import json
+
+from repro.obs.export import (
+    DEVICE_TID,
+    ancestor_chain,
+    chrome_trace_json,
+    collapsed_stacks,
+    format_tree,
+    metrics_json,
+    span_index,
+    tree_fingerprint,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import Span
+
+# A tiny hand-built forest: one host op with a kernel child and a
+# device-side nvme grandchild (tid -1), plus an unrelated root.
+FOREST = [
+    Span("op", "pread", 0, 100, span_id=1, parent_id=0, trace_id=1,
+         tid=3),
+    Span("syscall", "pread", 10, 90, span_id=2, parent_id=1, trace_id=1,
+         tid=3),
+    Span("nvme", "media", 20, 80, span_id=3, parent_id=2, trace_id=1,
+         tid=-1, attrs=(("lba", 8),)),
+    Span("op", "fsync", 200, 230, span_id=4, parent_id=0, trace_id=4,
+         tid=3),
+]
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        doc = json.loads(chrome_trace_json(FOREST))
+        assert doc["displayTimeUnit"] == "ns"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in meta} == {3, DEVICE_TID}
+        assert {e["args"]["name"] for e in meta} == {"thread-3", "device"}
+        assert len(complete) == len(FOREST)
+        media = next(e for e in complete if e["name"] == "nvme/media")
+        assert media["tid"] == DEVICE_TID
+        assert media["ts"] == 0.02 and media["dur"] == 0.06  # us
+        assert media["args"]["parent_id"] == 2
+        assert media["args"]["trace_id"] == 1
+        assert media["args"]["lba"] == 8
+
+    def test_sorted_and_stable(self):
+        assert chrome_trace_json(FOREST) \
+            == chrome_trace_json(list(reversed(FOREST)))
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        text = write_chrome_trace(FOREST, path)
+        on_disk = path.read_text(encoding="utf-8")
+        assert on_disk == text + "\n"
+        json.loads(on_disk)  # valid JSON
+
+
+class TestFlamegraph:
+    def test_self_time_accounting(self):
+        lines = collapsed_stacks(FOREST)
+        weights = {}
+        for line in lines.splitlines():
+            stack, w = line.rsplit(" ", 1)
+            weights[stack] = int(w)
+        assert weights == {
+            "op/pread": 20,                          # 100 - 80
+            "op/pread;syscall/pread": 20,            # 80 - 60
+            "op/pread;syscall/pread;nvme/media": 60,
+            "op/fsync": 30,
+        }
+        # Self times add back up to the root durations.
+        assert sum(weights.values()) == 100 + 30
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "stacks.txt"
+        text = write_flamegraph(FOREST, path)
+        assert path.read_text(encoding="utf-8") == text
+
+
+class TestFingerprint:
+    def test_stable_under_reordering(self):
+        assert tree_fingerprint(FOREST) \
+            == tree_fingerprint(list(reversed(FOREST)))
+
+    def test_sensitive_to_duration(self):
+        changed = list(FOREST)
+        changed[2] = Span("nvme", "media", 20, 81, span_id=3,
+                          parent_id=2, trace_id=1, tid=-1)
+        assert tree_fingerprint(changed) != tree_fingerprint(FOREST)
+
+    def test_sensitive_to_structure(self):
+        flat = [Span(s.category, s.label, s.start_ns, s.end_ns,
+                     span_id=s.span_id, parent_id=0,
+                     trace_id=s.span_id, tid=s.tid)
+                for s in FOREST]
+        assert tree_fingerprint(flat) != tree_fingerprint(FOREST)
+
+
+class TestTreeHelpers:
+    def test_ancestor_chain(self):
+        index = span_index(FOREST)
+        chain = ancestor_chain(FOREST[2], index)
+        assert [s.span_id for s in chain] == [2, 1]
+        assert ancestor_chain(FOREST[0], index) == []
+
+    def test_orphan_stops_walk(self):
+        orphan = Span("nvme", "media", 0, 1, span_id=9, parent_id=77,
+                      trace_id=77, tid=-1)
+        assert ancestor_chain(orphan, span_index([orphan])) == []
+
+    def test_format_tree(self):
+        text = format_tree(FOREST)
+        lines = text.splitlines()
+        assert lines[0].startswith("op/pread")
+        assert lines[1].startswith("  syscall/pread")
+        assert lines[2].startswith("    nvme/media")
+        assert lines[3].startswith("op/fsync")
+        assert "(trace 1)" in lines[2]
+
+    def test_format_tree_max_roots(self):
+        text = format_tree(FOREST, max_roots=1)
+        assert "fsync" not in text
+
+
+def test_metrics_json_deterministic():
+    r = MetricsRegistry()
+    r.counter("b").inc(2)
+    r.counter("a").inc(1)
+    r.histogram("h").record_many([5, 6, 7])
+    text = metrics_json(r)
+    doc = json.loads(text)
+    assert doc["counters"] == {"a": 1, "b": 2}
+    assert doc["histograms"]["h"]["count"] == 3
+    assert text == metrics_json(r)
+    assert text.index('"a"') < text.index('"b"')

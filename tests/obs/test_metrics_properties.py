@@ -1,0 +1,128 @@
+"""Property tests for the log-linear histogram and the registry.
+
+The histogram promises: exact count/sum/min/max; any reported
+percentile falls in the same bucket as the exact nearest-rank
+percentile of the raw samples (relative error <= 2**-sub_bits); and
+merging two histograms equals recording the union of their samples.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim.stats import percentile as exact_percentile
+
+samples = st.lists(st.integers(min_value=0, max_value=1 << 40),
+                   min_size=1, max_size=200)
+pcts = st.floats(min_value=0.001, max_value=100.0,
+                 allow_nan=False, allow_infinity=False)
+
+
+@settings(deadline=None, max_examples=200)
+@given(samples)
+def test_count_sum_min_max_exact(values):
+    h = Histogram("h")
+    h.record_many(values)
+    assert h.count == len(values)
+    assert h.sum == sum(values)
+    assert h.min == min(values)
+    assert h.max == max(values)
+
+
+@settings(deadline=None, max_examples=200)
+@given(samples, pcts)
+def test_percentile_within_one_bucket(values, pct):
+    h = Histogram("h")
+    h.record_many(values)
+    exact = int(exact_percentile(values, pct))
+    reported = h.percentile(pct)
+    # Same bucket as the exact sample...
+    assert h._index(reported) == h._index(exact)
+    # ...which bounds the relative error at 2**-sub_bits.
+    assert exact <= reported
+    assert reported - exact <= max(1, exact >> h.sub_bits)
+
+
+@settings(deadline=None, max_examples=100)
+@given(samples, samples)
+def test_merge_equals_union(left, right):
+    a = Histogram("a")
+    a.record_many(left)
+    b = Histogram("b")
+    b.record_many(right)
+    a.merge(b)
+    u = Histogram("u")
+    u.record_many(left + right)
+    assert a.counts == u.counts
+    assert a.count == u.count
+    assert a.sum == u.sum
+    assert a.min == u.min
+    assert a.max == u.max
+    assert a.summary() == u.summary()
+
+
+@settings(deadline=None, max_examples=200)
+@given(st.integers(min_value=0, max_value=1 << 50))
+def test_bucket_bounds_roundtrip(value):
+    h = Histogram("h")
+    idx = h._index(value)
+    lower, upper = h.bucket_bounds(idx)
+    assert lower <= value <= upper
+    # Bucket width respects the relative-error contract.
+    assert upper - lower <= max(0, lower >> h.sub_bits)
+
+
+def test_histogram_rejects_bad_input():
+    h = Histogram("h")
+    with pytest.raises(ValueError):
+        h.record(-1)
+    with pytest.raises(ValueError):
+        h.record(1, n=0)
+    with pytest.raises(ValueError):
+        h.percentile(50)  # empty
+    with pytest.raises(ValueError):
+        h.merge(Histogram("other", sub_bits=4))
+    with pytest.raises(ValueError):
+        Histogram("h", sub_bits=0)
+
+
+def test_empty_summary():
+    assert Histogram("h").summary() == {"count": 0, "sum": 0}
+
+
+def test_registry_create_on_first_use_and_kind_collision():
+    r = MetricsRegistry()
+    c = r.counter("x.count")
+    assert r.counter("x.count") is c
+    c.inc(3)
+    assert c.value == 3
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    with pytest.raises(ValueError):
+        r.gauge("x.count")
+    with pytest.raises(ValueError):
+        r.histogram("x.count")
+    r.gauge("x.g").set(1.5)
+    r.histogram("x.h").record(10)
+    assert r.names() == ["x.count", "x.g", "x.h"]
+
+
+def test_absorb_counters_is_idempotent():
+    r = MetricsRegistry()
+    snap = {"a": 3, "b": 0}
+    r.absorb_counters(snap, prefix="machine.")
+    r.absorb_counters(snap, prefix="machine.")
+    assert r.counters_snapshot() == {"machine.a": 3, "machine.b": 0}
+
+
+def test_snapshot_shape():
+    r = MetricsRegistry()
+    r.counter("c").inc()
+    r.gauge("g").set(2.0)
+    r.histogram("h").record_many([1, 2, 3])
+    snap = r.snapshot()
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    assert snap["counters"] == {"c": 1}
+    assert snap["gauges"] == {"g": 2.0}
+    assert snap["histograms"]["h"]["count"] == 3

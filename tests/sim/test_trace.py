@@ -4,7 +4,14 @@ import pytest
 
 from repro import GiB, Machine
 from repro.sim.engine import Simulator
-from repro.sim.trace import NULL_TRACER, Span, Tracer
+from repro.sim.trace import NULL_TRACER, Span, TraceError, Tracer
+
+
+class FakeThread:
+    """The tracer only reads ``thread.tid``."""
+
+    def __init__(self, tid):
+        self.tid = tid
 
 
 class TestTracerUnit:
@@ -53,6 +60,113 @@ class TestTracerUnit:
         with NULL_TRACER.span("a"):
             pass
         assert not NULL_TRACER.enabled
+
+    def test_null_tracer_full_api(self):
+        t = FakeThread(7)
+        NULL_TRACER.begin("a", "b", thread=t, parent=(1, 2), attrs=[("k", 1)])
+        NULL_TRACER.record("a", "b", 0, 1, thread=t, parent=(1, 2))
+        assert NULL_TRACER.current(t) is None
+
+        class Cmd:
+            trace = None
+
+        cmd = Cmd()
+        NULL_TRACER.stamp(cmd, thread=t)
+        assert cmd.trace is None
+
+
+class TestHierarchy:
+    def _tracer(self):
+        sim = Simulator()
+        return sim, Tracer(sim)
+
+    def test_thread_stack_parenting(self):
+        sim, tracer = self._tracer()
+        t = FakeThread(3)
+        outer = tracer.begin("op", "pread", thread=t)
+        sim.timeout(10)
+        sim.run()
+        inner = tracer.begin("syscall", "pread", thread=t)
+        sim.timeout(20)
+        sim.run()
+        tracer.end(inner)
+        tracer.end(outer)
+        spans = {s.label + "/" + s.category: s for s in tracer.spans}
+        op = spans["pread/op"]
+        sc = spans["pread/syscall"]
+        assert op.is_root and op.trace_id == op.span_id
+        assert sc.parent_id == op.span_id
+        assert sc.trace_id == op.trace_id
+        assert sc.tid == op.tid == 3
+
+    def test_threads_do_not_share_stacks(self):
+        sim, tracer = self._tracer()
+        a, b = FakeThread(1), FakeThread(2)
+        ta = tracer.begin("op", "a", thread=a)
+        tb = tracer.begin("op", "b", thread=b)
+        tracer.end(tb)
+        tracer.end(ta)
+        assert all(s.is_root for s in tracer.spans)
+        assert len({s.trace_id for s in tracer.spans}) == 2
+
+    def test_explicit_parent_wins(self):
+        sim, tracer = self._tracer()
+        t = FakeThread(1)
+        outer = tracer.begin("op", "x", thread=t)
+        tracer.record("nvme", "media", 0, 5, parent=(42, 17))
+        tracer.end(outer)
+        media = [s for s in tracer.spans if s.category == "nvme"][0]
+        assert media.parent_id == 17
+        assert media.trace_id == 42
+
+    def test_current_and_stamp(self):
+        from repro.nvme.spec import Command, Opcode
+
+        sim, tracer = self._tracer()
+        t = FakeThread(5)
+        assert tracer.current(t) is None
+        token = tracer.begin("device", "kernel-io", thread=t)
+        trace_id, span_id = tracer.current(t)
+        assert span_id == token and trace_id == token
+        cmd = Command(Opcode.READ, addr=0, nbytes=4096)
+        tracer.stamp(cmd, thread=t)
+        assert cmd.trace == (trace_id, span_id)
+        tracer.end(token)
+        assert tracer.current(t) is None
+
+    def test_record_end_before_start_raises(self):
+        """Regression: the error must carry the op's trace id."""
+        sim, tracer = self._tracer()
+        t = FakeThread(1)
+        root = tracer.begin("op", "pread", thread=t)
+        with pytest.raises(TraceError) as exc:
+            tracer.record("nvme", "media", 100, 50, thread=t)
+        assert f"trace {root}" in str(exc.value)
+        assert "ends before it starts" in str(exc.value)
+        tracer.end(root)
+        # The malformed span was rejected, the good one kept.
+        assert [s.category for s in tracer.spans] == ["op"]
+
+    def test_traceerror_is_a_valueerror(self):
+        with pytest.raises(ValueError):
+            raise TraceError("x")
+
+    def test_end_unknown_token(self):
+        _, tracer = self._tracer()
+        with pytest.raises(TraceError):
+            tracer.end(12345)
+
+    def test_traces_grouping(self):
+        sim, tracer = self._tracer()
+        t = FakeThread(1)
+        for label in ("a", "b"):
+            tok = tracer.begin("op", label, thread=t)
+            tracer.record("nvme", "media", 0, 1, thread=t)
+            tracer.end(tok)
+        groups = tracer.traces()
+        assert len(groups) == 2
+        for spans in groups.values():
+            assert {s.category for s in spans} == {"op", "nvme"}
 
 
 class TestMeasuredBreakdown:

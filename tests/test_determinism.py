@@ -1,9 +1,16 @@
 """The simulation must be perfectly reproducible: identical inputs give
-identical simulated timelines, down to the nanosecond."""
+identical simulated timelines, down to the nanosecond — and with
+tracing on, identical span trees and byte-identical trace exports."""
+
+import os
+import pathlib
 
 from repro import GiB, Machine
 from repro.apps.fio import FioJob, run_fio
 from repro.apps.wiredtiger import BTreeGeometry, run_wiredtiger_ycsb
+from repro.obs.export import chrome_trace_json, tree_fingerprint
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
 def test_fio_run_is_deterministic():
@@ -55,3 +62,70 @@ def test_full_stack_timeline_is_deterministic():
         return stamps
 
     assert once() == once()
+
+
+# -- golden traces -----------------------------------------------------------
+
+def _quickstart(trace: bool):
+    """The README's quickstart workload, optionally traced."""
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                trace=trace)
+    proc = m.spawn_process("app")
+    lib = m.userlib(proc)
+    t = proc.new_thread("app-0")
+    stamps = []
+
+    def body():
+        f = yield from lib.open(t, "/data", write=True, create=True)
+        yield from f.append(t, 8192, b"x" * 8192)
+        stamps.append(m.now)
+        for i in range(4):
+            yield from f.pread(t, (i * 2048) % 8192, 4096)
+            stamps.append(m.now)
+        yield from f.pwrite(t, 0, 4096)
+        stamps.append(m.now)
+        yield from f.fsync(t)
+        stamps.append(m.now)
+        yield from f.close(t)
+
+    m.run_process(body())
+    stamps.append(m.now)
+    return m, stamps
+
+
+def test_chrome_trace_export_is_byte_identical():
+    """Same seed, two fresh machines: the exported Chrome trace JSON
+    must match byte for byte (span ids, timestamps, everything)."""
+    a, _ = _quickstart(trace=True)
+    b, _ = _quickstart(trace=True)
+    ja = chrome_trace_json(a.tracer)
+    jb = chrome_trace_json(b.tracer)
+    assert ja == jb
+    assert '"ph":"X"' in ja  # actually exported spans
+
+
+def test_quickstart_span_tree_matches_golden():
+    """The span-tree fingerprint is pinned: any change to the span
+    taxonomy, nesting, or a single duration fails here.  Refresh with
+    REPRO_UPDATE_GOLDEN=1 after an intentional change."""
+    m, _ = _quickstart(trace=True)
+    fp = tree_fingerprint(m.tracer)
+    golden = GOLDEN_DIR / "quickstart_trace.fingerprint"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden.write_text(fp + "\n", encoding="utf-8")
+    assert golden.exists(), \
+        "golden fingerprint missing; run with REPRO_UPDATE_GOLDEN=1"
+    assert fp == golden.read_text(encoding="utf-8").strip(), \
+        "span tree changed; if intentional, refresh the golden file " \
+        "with REPRO_UPDATE_GOLDEN=1"
+
+
+def test_tracing_does_not_perturb_timeline():
+    """Tracing must be a pure observer: with the tracer on or off
+    (NULL_TRACER), the same workload hits identical timestamps."""
+    traced, traced_stamps = _quickstart(trace=True)
+    untraced, untraced_stamps = _quickstart(trace=False)
+    assert traced_stamps == untraced_stamps
+    assert traced.now == untraced.now
+    assert len(traced.tracer.spans) > 0
+    assert len(getattr(untraced.tracer, "spans", [])) == 0
