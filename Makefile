@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write
+.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write monitor-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,11 @@ perf-track:
 # refresh BENCH_perf.json after an intentional timing change
 perf-write:
 	$(PYTHON) scripts/perf_track.py --write
+
+# the latency tour with continuous telemetry on: sparklines, SLO
+# section, Perfetto counter tracks, telemetry dump
+monitor-demo:
+	$(PYTHON) examples/latency_tour.py --monitor
 
 # fails on any new simlint violation (baselined ones are tolerated)
 simlint:

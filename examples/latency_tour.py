@@ -10,8 +10,14 @@ Prints five mini-experiments:
 - the Table 5 warm/cold fmap costs.
 
 Run:  python examples/latency_tour.py        (takes ~1 minute)
+
+With ``--monitor``, the span tour also attaches the continuous
+telemetry sampler: the Chrome trace gains Perfetto counter tracks for
+every gauge, a telemetry dump is written next to it, and the sampler's
+sparkline report prints after the tree.
 """
 
+import argparse
 import pathlib
 import tempfile
 
@@ -26,10 +32,10 @@ from repro.hw.params import GiB, KiB, MiB
 from repro.obs.export import format_tree
 
 
-def span_tour() -> None:
+def span_tour(monitor: bool = False) -> None:
     """Trace one small workload and pretty-print where time went."""
     m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
-                trace=True)
+                trace=True, monitor=monitor)
     proc = m.spawn_process("tour")
     lib = m.userlib(proc)
     t = proc.new_thread("tour-0")
@@ -54,10 +60,22 @@ def span_tour() -> None:
     print(f"Chrome trace: {trace_path}  "
           "(load at https://ui.perfetto.dev)")
     print(f"Collapsed stacks: {stacks_path}  (flamegraph.pl/speedscope)")
+    if m.monitor is not None:
+        telemetry_path = out / "latency_tour.telemetry.json"
+        m.write_telemetry(telemetry_path)
+        print(f"Telemetry dump: {telemetry_path}")
+        print()
+        print(m.monitor.report())
 
 
 def main() -> None:
-    span_tour()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--monitor", action="store_true",
+                        help="attach the telemetry sampler to the span "
+                             "tour (counter tracks, dump, sparklines)")
+    args = parser.parse_args()
+
+    span_tour(monitor=args.monitor)
 
     table1_latency_breakdown().show()
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Export the quickstart run's observability artifacts for CI upload.
+
+Runs the README quickstart workload on a monitored, traced machine and
+writes three files into ``--out`` (default ``artifacts/``):
+
+- ``quickstart.trace.json`` — Chrome trace with Perfetto counter
+  tracks for every telemetry gauge (load at https://ui.perfetto.dev),
+- ``quickstart.stacks.txt`` — collapsed stacks for flamegraph.pl
+  or speedscope,
+- ``quickstart.telemetry.json`` — the telemetry dump (gauge series,
+  summaries, SLO state).
+
+Everything is deterministic, so two CI runs of the same commit upload
+byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import GiB, Machine  # noqa: E402
+
+
+def quickstart_machine() -> Machine:
+    """The README quickstart workload, traced and monitored."""
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                trace=True, monitor=True)
+    proc = m.spawn_process("app")
+    lib = m.userlib(proc)
+    t = proc.new_thread("app-0")
+
+    def body():
+        f = yield from lib.open(t, "/data", write=True, create=True)
+        yield from f.append(t, 8192, b"x" * 8192)
+        for i in range(4):
+            yield from f.pread(t, (i * 2048) % 8192, 4096)
+        yield from f.pwrite(t, 0, 4096)
+        yield from f.fsync(t)
+        yield from f.close(t)
+
+    m.run_process(body())
+    return m
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="export_artifacts.py",
+        description="Write the quickstart trace, flamegraph and "
+                    "telemetry dump for artifact upload.")
+    parser.add_argument("--out", type=Path, default=Path("artifacts"),
+                        metavar="DIR", help="output directory")
+    args = parser.parse_args(argv)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    m = quickstart_machine()
+    trace = args.out / "quickstart.trace.json"
+    stacks = args.out / "quickstart.stacks.txt"
+    telemetry = args.out / "quickstart.telemetry.json"
+    m.write_chrome_trace(trace)
+    m.write_flamegraph(stacks)
+    m.write_telemetry(telemetry)
+    for path in (trace, stacks, telemetry):
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

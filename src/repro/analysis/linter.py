@@ -91,6 +91,19 @@ HOT_BASE_CLASSES = {"Event", "Timeout", "Process", "Condition"}
 _EXEMPT_BASES = {"Enum", "IntEnum", "IntFlag", "Flag", "Exception",
                  "BaseException"}
 
+# SIM011: list mutators that bypass TimeSeries.record()'s sorted-
+# samples invariant.  sim/ is the owning layer; a module declaring its
+# *own* samples/points attribute (e.g. a dataclass field) is a friend.
+SERIES_ATTRS = {"samples", "points"}
+SERIES_MUTATORS = {"append", "extend", "insert", "remove", "pop",
+                   "clear", "sort", "reverse"}
+
+# SIM012: the documented gauge naming scheme (docs/observability.md):
+# <subsystem>.<object>.<metric> — lowercase/digits/underscores, two or
+# more dot-separated components.  Keep in sync with
+# repro.obs.monitor.GAUGE_NAME_RE.
+GAUGE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
 _PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 _SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
 
@@ -162,6 +175,7 @@ class _ModuleContext:
         self.set_attrs: Set[str] = set()        # attrs assigned set() etc.
         self.dict_attrs: Set[str] = set()
         self.own_private: Set[str] = set()      # attrs the module assigns
+        self.own_attrs: Set[str] = set()        # every name it assigns
         self.source_lines = source_lines
         self._scan(tree)
 
@@ -187,6 +201,7 @@ class _ModuleContext:
                         name = t.id
                     if name is None:
                         continue
+                    self.own_attrs.add(name)
                     if isinstance(t, ast.Attribute) and \
                             name.startswith("_") and not name.startswith("__"):
                         self.own_private.add(name)
@@ -283,6 +298,9 @@ class _Checker(ast.NodeVisitor):
         self.ctx = ctx
         self.enabled = enabled
         self.is_hot = is_hot_module
+        norm = path.replace("\\", "/")
+        # sim/ owns TimeSeries and may touch .samples directly (SIM011)
+        self._in_sim_layer = "/sim/" in norm or norm.startswith("sim/")
         self.out: List[Violation] = []
         self._fn_stack: List[dict] = []   # {"generator":bool,"process":bool}
         # comprehension nodes consumed by an order-insensitive callable
@@ -356,6 +374,8 @@ class _Checker(ast.NodeVisitor):
             self._check_unseeded_rng(node, full)
             self._check_clock_sink(node, full)
             self._check_id_ordering_call(node, full)
+        self._check_series_mutation_call(node)
+        self._check_gauge_name(node)
         self.generic_visit(node)
 
     def _check_entropy(self, node: ast.Call, full: str) -> None:
@@ -429,6 +449,7 @@ class _Checker(ast.NodeVisitor):
                             "assigning a float to the simulation clock; "
                             "sim.now is integer nanoseconds")
             self._check_private_mutation(t)
+            self._check_series_rebind(t)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -439,6 +460,7 @@ class _Checker(ast.NodeVisitor):
                         "float arithmetic on the simulation clock; "
                         "sim.now is integer nanoseconds")
         self._check_private_mutation(t)
+        self._check_series_rebind(t)
         self.generic_visit(node)
 
     def visit_Delete(self, node: ast.Delete) -> None:
@@ -465,6 +487,57 @@ class _Checker(ast.NodeVisitor):
             "SIM007", target,
             f"mutating private state {expr} across a layer boundary; "
             f"add a public method on the owning class")
+
+    # -- SIM011 / SIM012: telemetry hygiene ---------------------------------
+
+    def _check_series_mutation_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in SERIES_MUTATORS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in SERIES_ATTRS):
+            return
+        self._report_series_mutation(func.value, f".{func.attr}()")
+
+    def _check_series_rebind(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Attribute) and \
+                target.attr in SERIES_ATTRS:
+            self._report_series_mutation(target, " assignment")
+
+    def _report_series_mutation(self, attr_node: ast.Attribute,
+                                how: str) -> None:
+        if self._in_sim_layer:
+            return
+        if _is_self(attr_node.value):
+            return
+        # Friend: this module declares its own samples/points field
+        # (e.g. a dataclass with a `samples` list of its own).
+        if attr_node.attr in self.ctx.own_attrs:
+            return
+        expr = _dotted_target(attr_node) or f"?.{attr_node.attr}"
+        self.report(
+            "SIM011", attr_node,
+            f"direct {expr}{how} bypasses TimeSeries.record() and can "
+            f"break the sorted-samples invariant windowed SLO reducers "
+            f"rely on; use record()")
+
+    def _check_gauge_name(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "gauge"):
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if not (isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)):
+            return     # dynamic names: the producer's responsibility
+        if GAUGE_NAME_RE.match(arg.value):
+            return
+        self.report(
+            "SIM012", arg,
+            f"gauge name {arg.value!r} is outside the documented scheme "
+            f"<subsystem>.<object>.<metric> (lowercase dotted, two or "
+            f"more components; see docs/observability.md)")
 
     # -- SIM002: unordered iteration ----------------------------------------
 

@@ -164,6 +164,34 @@ RULES: Tuple[Rule, ...] = (
         ),
         tags=("determinism", "ordering"),
     ),
+    Rule(
+        id="SIM011",
+        name="timeseries-mutation",
+        severity=WARNING,
+        summary="direct mutation of TimeSeries.samples outside sim/",
+        rationale=(
+            "TimeSeries keeps its samples sorted by timestamp so "
+            "windowed SLO reducers can bisect; appending or assigning "
+            "to .samples (or the legacy .points alias) from model or "
+            "analysis code can break that invariant silently.  Call "
+            "record() instead."
+        ),
+        tags=("layering", "observability"),
+    ),
+    Rule(
+        id="SIM012",
+        name="gauge-naming",
+        severity=WARNING,
+        summary="gauge registered outside the documented naming scheme",
+        rationale=(
+            "telemetry gauges follow <subsystem>.<object>.<metric> — "
+            "lowercase, digits/underscores, two or more dot-separated "
+            "components (docs/observability.md).  Off-scheme names "
+            "fragment dashboards and break trace_diff's per-layer "
+            "grouping."
+        ),
+        tags=("observability",),
+    ),
 )
 
 _BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}

@@ -115,6 +115,11 @@ def run_fio(machine: Machine, job: FioJob) -> FioResult:
                 lat = machine.now - t0
                 overall.record(lat)
                 per_proc_lat[proc_idx].record(lat)
+                if machine.monitor is not None:
+                    # Feed the telemetry layer so latency SLOs can
+                    # window over per-op samples (pure recording:
+                    # does not touch simulated time).
+                    machine.monitor.observe("fio.lat_ns", float(lat))
                 throughput.record(nbytes=job.block_size)
                 per_proc[proc_idx].record(nbytes=job.block_size)
         finish_times.append(machine.now)

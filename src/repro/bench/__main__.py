@@ -12,6 +12,15 @@ installs a process-wide default injector that every Machine built by
 the experiments adopts, and prints the injector's fault totals after
 the runs (the counters also land in each table's footer when the
 experiment attaches machine stats).
+
+Continuous telemetry works the same way:
+
+    python -m repro.bench --monitor fig10
+
+installs an ambient monitor config (queue-depth and backlog SLOs) so
+every Machine the experiments build attaches a sampler; after each
+experiment a telemetry section — representative sparklines plus the
+SLO breach table — is appended to the report.
 """
 
 from __future__ import annotations
@@ -21,6 +30,12 @@ import sys
 import time
 
 from ..faults import FaultInjector, FaultPlan, set_default_injector
+from ..obs.monitor import (
+    SLO,
+    MonitorConfig,
+    drain_ambient_monitors,
+    set_default_monitor,
+)
 from . import experiments
 from .report import ResultTable
 
@@ -47,6 +62,39 @@ _REGISTRY = {
 }
 
 
+# SLOs applied by `--monitor`: backlog bounds that a healthy run of
+# every experiment satisfies, so any breach printed below is signal.
+_MONITOR_SLOS = (
+    SLO("device_backlog", "nvme.device.inflight", 24.0,
+        reduce="max", window_ns=100_000),
+    SLO("softirq_backlog", "kernel.blockio.softirq_backlog", 32.0,
+        reduce="max", window_ns=100_000),
+)
+
+
+def _telemetry_section(name: str, monitors) -> str:
+    """Aggregated telemetry for one experiment's machines: the busiest
+    machine's sparklines as the representative sample, plus every
+    machine's SLO breaches in one table."""
+    if not monitors:
+        return f"telemetry [{name}]: no machines monitored"
+    busiest = max(monitors,
+                  key=lambda mon: (mon.samples_taken,
+                                   len(mon.series)))
+    lines = [f"telemetry [{name}]: {len(monitors)} machine(s), "
+             f"{sum(mon.samples_taken for mon in monitors)} samples"]
+    lines.append(busiest.report())
+    total_breaches = sum(mon.breach_count for mon in monitors)
+    lines.append(f"SLO breaches across machines: {total_breaches}")
+    if total_breaches:
+        lines.append(f"  {'machine':>8}  {'t_ns':>12}  {'slo':<24} value")
+        for idx, mon in enumerate(monitors):
+            for b in mon.breaches:
+                lines.append(f"  {idx:>8}  {b.t_ns:>12}  {b.slo:<24} "
+                             f"{b.value:g}")
+    return "\n".join(lines)
+
+
 def _fault_summary_table(injector: FaultInjector) -> ResultTable:
     table = ResultTable(
         "Fault injection summary",
@@ -70,6 +118,11 @@ def main(argv=None) -> int:
              "experiments build, e.g. "
              "seed=7,media_error_rate=0.001,drop_rate=0.0001 "
              "(see repro.faults.FaultPlan.parse)")
+    parser.add_argument(
+        "--monitor", action="store_true",
+        help="attach a telemetry sampler (with queue-depth/backlog "
+             "SLOs) to every machine and append a telemetry section "
+             "per experiment")
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:
@@ -94,6 +147,8 @@ def main(argv=None) -> int:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
         set_default_injector(injector)
+    if args.monitor:
+        set_default_monitor(MonitorConfig(slos=_MONITOR_SLOS))
 
     try:
         for name in targets:
@@ -102,11 +157,16 @@ def main(argv=None) -> int:
             t0 = time.time()
             table = _REGISTRY[name]()
             table.show()
+            if args.monitor:
+                print(_telemetry_section(name,
+                                         drain_ambient_monitors()))
             print(f"[{name}: {time.time() - t0:.1f}s]",  # simlint: ignore[SIM001]
                   file=sys.stderr)
     finally:
         if injector is not None:
             set_default_injector(None)
+        if args.monitor:
+            set_default_monitor(None)
 
     if injector is not None:
         _fault_summary_table(injector).show()

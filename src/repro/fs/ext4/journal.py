@@ -72,6 +72,12 @@ class Journal:
     def has_pending(self) -> bool:
         return self._running is not None and bool(self._running.records)
 
+    @property
+    def depth(self) -> int:
+        """Records in the running (uncommitted) transaction — the jbd2
+        queue-depth gauge sampled by repro.obs.monitor."""
+        return len(self._running.records) if self._running else 0
+
     def commit(self) -> Optional[Transaction]:
         """Seal the running transaction; returns it (None if empty)."""
         txn = self._running

@@ -81,6 +81,18 @@ class BlockIOLayer:
             self._queues[key] = qp
         return qp
 
+    # -- telemetry gauges (read-only; sampled by repro.obs.monitor) ----
+
+    @property
+    def inflight(self) -> int:
+        """Requests submitted through this layer, completion pending."""
+        return sum(qp.inflight for qp in self._queues.values())
+
+    @property
+    def softirq_backlog(self) -> int:
+        """Completions posted by the device, not yet seen by a waiter."""
+        return sum(qp.cq_backlog for qp in self._queues.values())
+
     # -- timeout / abort / retry machinery -------------------------------------
 
     def _wait_guarded(self, thread: Thread, qp: QueuePair, cmd: Command,

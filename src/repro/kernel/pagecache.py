@@ -33,6 +33,18 @@ class PageCache:
         self.misses = 0
         self.writebacks = 0
 
+    # -- telemetry gauges (read-only; sampled by repro.obs.monitor) ----
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction in [0, 1]; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    @property
+    def dirty_pages(self) -> int:
+        return len(self._dirty)
+
     def __contains__(self, key: Tuple[int, int]) -> bool:
         return key in self._pages
 

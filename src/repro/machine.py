@@ -50,6 +50,7 @@ from .kernel.process import Process
 from .kernel.syscalls import Kernel
 from .nvme.device import NVMeDevice
 from .obs.metrics import MetricsRegistry
+from .obs.monitor import Monitor, MonitorConfig, resolve_monitor_config
 from .sim.cpu import CPUSet
 from .sim.engine import Simulator
 from .sim.stats import Stats
@@ -69,7 +70,8 @@ class Machine:
                  page_cache_pages: Optional[int] = None,
                  trace: bool = False,
                  sanitize: bool = False,
-                 faults: Union[FaultPlan, FaultInjector, str, None] = None):
+                 faults: Union[FaultPlan, FaultInjector, str, None] = None,
+                 monitor: Union[bool, MonitorConfig, None] = None):
         self.params = params if params is not None else DEFAULT_PARAMS
         self.sim = Simulator(sanitize=sanitize)
         self.tracer = Tracer(self.sim) if trace else NULL_TRACER
@@ -103,6 +105,14 @@ class Machine:
         self.kernel.bypassd = self.bypassd
         self._userlibs: List[UserLib] = []
         self.crashed = False
+        # Telemetry last, so the sampler sees every layer wired up.
+        # `monitor=True` attaches defaults, a MonitorConfig customises,
+        # None defers to the ambient config (repro.bench --monitor),
+        # False forces it off.
+        self.monitor: Optional[Monitor] = None
+        mon_cfg, ambient = resolve_monitor_config(monitor)
+        if mon_cfg is not None:
+            self.monitor = Monitor(self, mon_cfg, ambient=ambient)
         if self.faults.plan.crash_at_ns is not None:
             self.sim.process(self._power_fail(self.faults.plan.crash_at_ns),
                              name="power-fail")
@@ -194,14 +204,26 @@ class Machine:
         return self.metrics
 
     def write_chrome_trace(self, path) -> str:
-        """Export the tracer's spans as Chrome trace JSON (Perfetto)."""
+        """Export the tracer's spans as Chrome trace JSON (Perfetto).
+
+        With a monitor attached, telemetry gauges ride along as
+        Perfetto counter tracks (queue depth over time next to spans).
+        """
         from .obs.export import write_chrome_trace
-        return write_chrome_trace(self.tracer, path)
+        counters = self.monitor.series if self.monitor is not None else None
+        return write_chrome_trace(self.tracer, path, counters=counters)
 
     def write_flamegraph(self, path) -> str:
         """Export collapsed stacks weighted by span self-time."""
         from .obs.export import write_flamegraph
         return write_flamegraph(self.tracer, path)
+
+    def write_telemetry(self, path) -> str:
+        """Export the monitor's telemetry dump (gauges + SLO breaches)."""
+        if self.monitor is None:
+            raise ValueError("machine has no monitor attached "
+                             "(construct with monitor=True)")
+        return self.monitor.write_telemetry(path)
 
     # -- fault accounting / recovery -----------------------------------------
 

@@ -137,6 +137,15 @@ class NVMeDevice:
     def queue_count(self) -> int:
         return len(self._queues)
 
+    def queue_pairs(self) -> List[QueuePair]:
+        """Attached queue pairs in qid order (telemetry iteration)."""
+        return [self._queues[qid] for qid in sorted(self._queues)]
+
+    @property
+    def inflight(self) -> int:
+        """Commands accepted but not yet completed, across all queues."""
+        return sum(qp.inflight for qp in self._queues.values())
+
     # -- submission ------------------------------------------------------------
 
     def submit(self, qp: QueuePair, cmd: Command) -> Event:

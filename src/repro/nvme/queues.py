@@ -44,6 +44,7 @@ class QueuePair:
         self._events: Dict[int, Event] = {}
         self.submitted = 0
         self.completed = 0
+        self.reaped = 0
         self.bytes_completed = 0
         self.active = True
 
@@ -66,6 +67,9 @@ class QueuePair:
     def pop_completion(self) -> Optional[Completion]:
         if not self.cq:
             return None
+        # Clamped: popping a completion that was already delivered via
+        # its wait event (tests do this) must not drive backlog negative.
+        self.reaped = min(self.reaped + 1, self.completed)
         return self.cq.popleft()
 
     @property
@@ -75,6 +79,28 @@ class QueuePair:
     @property
     def sq_len(self) -> int:
         return len(self.sq)
+
+    # -- telemetry gauges (read-only; sampled by repro.obs.monitor) ----
+
+    @property
+    def cq_backlog(self) -> int:
+        """Completions posted but not yet consumed by the host.
+
+        Event-driven submitters consume a completion the instant it is
+        posted (their wait event fires), so only explicitly reaped /
+        polled completions can back up.
+        """
+        return self.completed - self.reaped
+
+    @property
+    def sq_occupancy(self) -> float:
+        """SQ fill fraction of the ring, in [0, 1]."""
+        return len(self.sq) / self.depth
+
+    @property
+    def cq_occupancy(self) -> float:
+        """CQ backlog as a fraction of the ring depth, in [0, 1]."""
+        return min(1.0, self.cq_backlog / self.depth)
 
     # -- device side -----------------------------------------------------------
 
@@ -91,6 +117,9 @@ class QueuePair:
         self.bytes_completed += nbytes
         ev = self._events.pop(completion.cid, None)
         if ev is not None:
+            # Delivered through the wait event: the submitter sees it
+            # now, so it never sits in the CQ backlog (`cq_backlog`).
+            self.reaped += 1
             ev.succeed(completion)
 
     def shutdown(self) -> None:

@@ -23,6 +23,9 @@ class RoundRobinArbiter:
     def __init__(self):
         self._queues: List[QueuePair] = []
         self._next = 0
+        # Commands granted per qid since creation; feeds the
+        # `nvme.qp<qid>.arb_share` telemetry gauge (Figure 11 fairness).
+        self.served: Dict[int, int] = {}
 
     def add_queue(self, qp: QueuePair) -> None:
         self._queues.append(qp)
@@ -52,8 +55,19 @@ class RoundRobinArbiter:
             cmd = qp.fetch()
             if cmd is not None:
                 self._next = (self._next + step + 1) % n
+                self._count(qp)
                 return qp, cmd
         return None
+
+    def _count(self, qp: QueuePair) -> None:
+        self.served[qp.qid] = self.served.get(qp.qid, 0) + 1
+
+    def share(self, qid: int) -> float:
+        """Fraction of all arbitration grants that went to ``qid``."""
+        total = sum(self.served.values())
+        if total == 0:
+            return 0.0
+        return self.served.get(qid, 0) / total
 
 
 class WeightedArbiter(RoundRobinArbiter):
@@ -90,6 +104,7 @@ class WeightedArbiter(RoundRobinArbiter):
                 self._next = (self._next + step + 1) % n
             else:
                 self._next = (self._next + step) % n
+            self._count(qp)
             return qp, cmd
         # All queues with work are out of credit: refill and retry once.
         if any(qp.sq_len for qp in self._queues):

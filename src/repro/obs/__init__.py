@@ -13,6 +13,12 @@ Three pieces (see ``docs/observability.md``):
   ``scripts/perf_track.py`` and the span-measured Table 1 / Figure 7
   breakdown.  (Import it as ``repro.obs.perf``; it is not imported
   here to keep ``repro.machine`` ↔ ``repro.obs`` import-cycle free.)
+* :mod:`repro.obs.monitor` — the continuous-telemetry sampler:
+  deterministic time-series gauges across every layer plus declarative
+  SLO monitors with edge-triggered breach events.
+* :mod:`repro.obs.diff` — run-to-run regression attribution: aligned
+  span-tree diffing of two trace/metrics dumps, per-layer deltas and
+  retry attribution (``scripts/trace_diff.py``).
 """
 
 from .export import (
@@ -27,12 +33,24 @@ from .export import (
     write_flamegraph,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .monitor import (
+    SLO,
+    Breach,
+    Monitor,
+    MonitorConfig,
+    sparkline,
+)
 
 __all__ = [
+    "Breach",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Monitor",
+    "MonitorConfig",
+    "SLO",
+    "sparkline",
     "ancestor_chain",
     "chrome_trace_json",
     "collapsed_stacks",

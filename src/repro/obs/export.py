@@ -30,6 +30,7 @@ __all__ = [
     "children_map",
     "ancestor_chain",
     "chrome_trace_json",
+    "counter_events",
     "write_chrome_trace",
     "collapsed_stacks",
     "write_flamegraph",
@@ -113,17 +114,47 @@ def chrome_trace_events(spans: Iterable[Span],
     return events
 
 
-def chrome_trace_json(tracer_or_spans, pid: int = 1) -> str:
+def counter_events(series_map, pid: int = 1) -> List[dict]:
+    """Perfetto counter-track ("C") events from telemetry time series.
+
+    ``series_map`` maps gauge name -> :class:`repro.sim.stats.TimeSeries`
+    (a :attr:`repro.obs.monitor.Monitor.series` dict works as-is).
+    Each gauge renders as its own counter track; load the trace in
+    Perfetto and the tracks plot under the span rows.
+    """
+    events: List[dict] = []
+    for name in sorted(series_map):
+        series = series_map[name]
+        for t, v in series.samples:
+            events.append({
+                "args": {"value": v},
+                "name": name,
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": t / 1000.0,
+            })
+    return events
+
+
+def chrome_trace_json(tracer_or_spans, pid: int = 1,
+                      counters=None) -> str:
     """Serialise to the Chrome trace JSON Array Format (deterministic:
-    sorted events, sorted keys, fixed separators)."""
+    sorted events, sorted keys, fixed separators).  ``counters`` is an
+    optional gauge-name -> TimeSeries map appended as counter tracks;
+    omitting it yields byte-identical output to before counters
+    existed, so golden traces stay stable."""
     spans = getattr(tracer_or_spans, "spans", tracer_or_spans)
     events = chrome_trace_events(spans, pid=pid)
+    if counters:
+        events.extend(counter_events(counters, pid=pid))
     return json.dumps({"displayTimeUnit": "ns", "traceEvents": events},
                       sort_keys=True, separators=(",", ":"))
 
 
-def write_chrome_trace(tracer_or_spans, path, pid: int = 1) -> str:
-    text = chrome_trace_json(tracer_or_spans, pid=pid)
+def write_chrome_trace(tracer_or_spans, path, pid: int = 1,
+                       counters=None) -> str:
+    text = chrome_trace_json(tracer_or_spans, pid=pid, counters=counters)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
         fh.write("\n")

@@ -57,6 +57,13 @@ class Histogram:
 
     ``sub_bits=5`` (the default) bounds the relative quantile error at
     1/32 ≈ 3.1%; count and sum are exact.
+
+    Empty-histogram contract (pinned by tests): quantile accessors
+    (:meth:`percentile`, :attr:`mean`) raise ``ValueError("no
+    samples")`` — a percentile of nothing is a bug at the call site,
+    not a zero — while :meth:`summary` degrades gracefully to
+    ``{"count": 0, "sum": 0}`` so dumps of idle registries stay valid.
+    :meth:`merge` treats an empty side as the identity.
     """
 
     __slots__ = ("name", "sub_bits", "counts", "count", "sum",
@@ -114,7 +121,12 @@ class Histogram:
             self.record(v)
 
     def merge(self, other: "Histogram") -> None:
-        """Fold ``other`` into self (same sub_bits required)."""
+        """Fold ``other`` into self (same sub_bits required).
+
+        Merging an empty histogram is the identity, in either
+        direction: counts, sum and min/max are unaffected by the
+        empty side.
+        """
         if other.sub_bits != self.sub_bits:
             raise ValueError("cannot merge histograms with different "
                              f"sub_bits: {self.sub_bits} vs {other.sub_bits}")
@@ -133,7 +145,11 @@ class Histogram:
 
     def percentile(self, pct: float) -> int:
         """Nearest-rank percentile, reported as the containing bucket's
-        upper bound (clamped to the observed max)."""
+        upper bound (clamped to the observed max).
+
+        Raises ``ValueError`` when the histogram is empty (see the
+        class docstring for the empty-histogram contract).
+        """
         if self.count == 0:
             raise ValueError("no samples")
         if pct <= 0:
@@ -154,6 +170,8 @@ class Histogram:
         return self.sum / self.count
 
     def summary(self) -> Dict[str, float]:
+        """Deterministic digest; an empty histogram yields exactly
+        ``{"count": 0, "sum": 0}`` (no min/max/quantile keys)."""
         if self.count == 0:
             return {"count": 0, "sum": 0}
         return {

@@ -52,7 +52,7 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered",
-                 "_defused", "__weakref__")
+                 "_defused", "_observer", "__weakref__")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -61,6 +61,7 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._triggered = False
         self._defused = False
+        self._observer = False
         if sim._san is not None:
             sim._san.note_event_created(self)
 
@@ -141,10 +142,10 @@ class Process(Event):
     generator finishes, or fails with the escaping exception.
     """
 
-    __slots__ = ("gen", "name", "daemon", "_waiting_on")
+    __slots__ = ("gen", "name", "daemon", "observer", "_waiting_on")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "",
-                 daemon: bool = False):
+                 daemon: bool = False, observer: bool = False):
         if not hasattr(gen, "send"):
             raise SimulationError(f"process target must be a generator, got {gen!r}")
         super().__init__(sim)
@@ -154,10 +155,17 @@ class Process(Event):
         # poller threads): the sanitizer exempts them from stranded/
         # leak verdicts and treats their scheduling order as immaterial.
         self.daemon = daemon
+        # Observer processes (telemetry samplers) may only read model
+        # state and yield timeouts: every event they schedule is tagged,
+        # and `run()` stops once *only* observer events remain, so a
+        # periodic sampler neither deadlocks the run nor extends it.
+        self.observer = observer
         self._waiting_on: Optional[Event] = None
         if sim._san is not None:
             sim._san.note_process_created(self)
         bootstrap = Event(sim)
+        if observer:
+            bootstrap._observer = True
         bootstrap.add_callback(self._resume)
         bootstrap.succeed()
 
@@ -296,6 +304,7 @@ class Simulator:
         self.now: int = 0
         self._queue: List = []
         self._seq = 0
+        self._observers_queued = 0
         self._active_process: Optional[Process] = None
         self._san = None
         if sanitize or strict_sanitize:
@@ -316,8 +325,9 @@ class Simulator:
         return Timeout(self, delay, value)
 
     def process(self, gen: ProcessGen, name: str = "",
-                daemon: bool = False) -> Process:
-        return Process(self, gen, name=name, daemon=daemon)
+                daemon: bool = False, observer: bool = False) -> Process:
+        return Process(self, gen, name=name, daemon=daemon,
+                       observer=observer)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -329,6 +339,11 @@ class Simulator:
 
     def _post(self, event: Event, delay: int = 0) -> None:
         self._seq += 1
+        active = self._active_process
+        if active is not None and active.observer:
+            event._observer = True
+        if event._observer:
+            self._observers_queued += 1
         heapq.heappush(self._queue, (self.now + delay, self._seq, event))
         if self._san is not None:
             self._san.note_scheduled(event, self.now + delay, self._seq)
@@ -336,9 +351,18 @@ class Simulator:
     def run(self, until: Optional[int] = None) -> int:
         """Drain the queue; stop once simulated time would pass ``until``.
 
+        Stops early when only *observer* events remain (see
+        :class:`Process`): a periodic telemetry sampler keeps ticking
+        while model events are pending but never keeps the run alive on
+        its own, so with monitoring attached a run ends at the exact
+        same simulated instant as without it.
+
         Returns the simulation time when the run stopped.
         """
         while self._queue:
+            if self._observers_queued >= len(self._queue) and until is None:
+                # Only sampler wake-ups left: the model is quiescent.
+                break
             when, _seq, event = self._queue[0]
             if until is not None and when > until:
                 self.now = until
@@ -346,6 +370,8 @@ class Simulator:
                     self._san.finish()
                 return self.now
             heapq.heappop(self._queue)
+            if event._observer:
+                self._observers_queued -= 1
             self.now = when
             callbacks, event.callbacks = event.callbacks, None
             if callbacks:

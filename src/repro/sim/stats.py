@@ -9,7 +9,9 @@ simulated nanoseconds and convert to the units the paper prints.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -146,22 +148,77 @@ class ThroughputCounter:
 
 @dataclass
 class TimeSeries:
-    """(time, value) samples, e.g. throughput over a run (Figure 12)."""
+    """Time-ordered (time, value) samples (Figure 12, telemetry gauges).
+
+    ``samples`` is kept sorted by timestamp: ``record`` is O(1) for the
+    common monotonic case (a sampler only moves forward in simulated
+    time) and falls back to an insertion sort for out-of-order times,
+    so ``between`` can bisect instead of scanning.  Windowed SLO
+    evaluation over a long run is then O(log n + k) per window rather
+    than O(n) — see the reducers below.
+    """
 
     name: str = "series"
-    points: List[Tuple[int, float]] = field(default_factory=list)
+    samples: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def points(self) -> List[Tuple[int, float]]:
+        """Alias kept for pre-telemetry callers (read-only use)."""
+        return self.samples
 
     def record(self, now_ns: int, value: float) -> None:
-        self.points.append((int(now_ns), float(value)))
+        sample = (int(now_ns), float(value))
+        if not self.samples or sample[0] >= self.samples[-1][0]:
+            self.samples.append(sample)
+        else:
+            insort(self.samples, sample, key=itemgetter(0))
 
     def __len__(self) -> int:
-        return len(self.points)
+        return len(self.samples)
 
     def values(self) -> List[float]:
-        return [v for _, v in self.points]
+        return [v for _, v in self.samples]
 
     def between(self, t0_ns: int, t1_ns: int) -> List[float]:
-        return [v for t, v in self.points if t0_ns <= t < t1_ns]
+        """Values of samples with ``t0_ns <= t < t1_ns``, by bisection."""
+        lo = bisect_left(self.samples, int(t0_ns), key=itemgetter(0))
+        hi = bisect_left(self.samples, int(t1_ns), key=itemgetter(0))
+        return [v for _, v in self.samples[lo:hi]]
+
+    @property
+    def latest(self) -> Optional[Tuple[int, float]]:
+        return self.samples[-1] if self.samples else None
+
+    # -- windowed reducers (SLO evaluation) ----------------------------
+
+    def window_mean(self, t0_ns: int, t1_ns: int) -> float:
+        vals = self.between(t0_ns, t1_ns)
+        if not vals:
+            raise ValueError(f"{self.name}: empty window")
+        return sum(vals) / len(vals)
+
+    def window_max(self, t0_ns: int, t1_ns: int) -> float:
+        vals = self.between(t0_ns, t1_ns)
+        if not vals:
+            raise ValueError(f"{self.name}: empty window")
+        return max(vals)
+
+    def window_percentile(self, t0_ns: int, t1_ns: int,
+                          pct: float) -> float:
+        return percentile(self.between(t0_ns, t1_ns), pct)
+
+    def summary(self) -> Dict[str, float]:
+        """Deterministic whole-series digest (telemetry dumps)."""
+        vals = self.values()
+        if not vals:
+            return {"count": 0.0}
+        return {
+            "count": float(len(vals)),
+            "min": min(vals),
+            "max": max(vals),
+            "mean": sum(vals) / len(vals),
+            "last": vals[-1],
+        }
 
 
 class BreakdownRecorder:
@@ -231,6 +288,7 @@ class Stats:
     userlib_io_timeouts: int = 0
     userlib_async_write_errors: int = 0
     crashes: int = 0
+    slo_breaches: int = 0
     injected: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
@@ -256,6 +314,9 @@ class Stats:
             userlib_async_write_errors=sum(x.async_write_errors
                                            for x in libs),
             crashes=1 if getattr(machine, "crashed", False) else 0,
+            slo_breaches=(machine.monitor.breach_count
+                          if getattr(machine, "monitor", None) is not None
+                          else 0),
             injected=machine.faults.summary(),
         )
 
@@ -283,6 +344,7 @@ class Stats:
             "userlib_io_timeouts": self.userlib_io_timeouts,
             "userlib_async_write_errors": self.userlib_async_write_errors,
             "crashes": self.crashes,
+            "slo_breaches": self.slo_breaches,
         }
         for kind, n in sorted(self.injected.items()):
             out[f"injected_{kind}"] = n

@@ -407,3 +407,81 @@ def test_sim010_ok_deterministic_key():
                 return self.ctxs.get(thread.tid)
     """)
     assert "SIM010" not in _ids(vs)
+
+
+# -- SIM011: TimeSeries.samples mutation --------------------------------
+
+def test_sim011_flags_direct_series_mutation():
+    vs = _lint("""
+        def feed(series, ts):
+            series.samples.append((10, 1.0))
+            ts.points.extend([(1, 2.0)])
+            ts.samples.sort()
+    """)
+    assert _ids(vs).count("SIM011") == 3
+
+
+def test_sim011_flags_rebinding_the_sample_list():
+    vs = _lint("""
+        def reset(series, other):
+            series.samples = []
+            other.points = list(other.points)
+    """)
+    assert _ids(vs).count("SIM011") == 2
+
+
+def test_sim011_ok_record_and_reads():
+    vs = _lint("""
+        def feed(series):
+            series.record(10, 1.0)
+            return series.samples[-1], len(series.points)
+    """)
+    assert "SIM011" not in _ids(vs)
+
+
+def test_sim011_ok_inside_sim_layer():
+    vs = _lint("""
+        def record(self, now_ns, value):
+            self.samples.append((now_ns, value))
+    """, path="src/repro/sim/stats.py")
+    assert "SIM011" not in _ids(vs)
+
+
+def test_sim011_ok_module_owning_its_own_samples_attr():
+    # A module that declares its *own* samples attribute (e.g. a
+    # dataclass field) is a friend, not a TimeSeries client.
+    vs = _lint("""
+        class Breakdown:
+            samples: list
+
+            def __init__(self):
+                self.samples = []
+
+            def add(self, v):
+                self.samples.append(v)
+    """)
+    assert "SIM011" not in _ids(vs)
+
+
+# -- SIM012: gauge naming scheme ----------------------------------------
+
+def test_sim012_flags_off_scheme_literal_names():
+    vs = _lint("""
+        def register(metrics):
+            metrics.gauge("BadName")
+            metrics.gauge("plain")
+            metrics.gauge("nvme..double_dot")
+            metrics.gauge("nvme.QP1.inflight")
+    """)
+    assert _ids(vs).count("SIM012") == 4
+
+
+def test_sim012_ok_compliant_and_dynamic_names():
+    vs = _lint("""
+        def register(metrics, name):
+            metrics.gauge("nvme.qp1.inflight")
+            metrics.gauge("kernel.pagecache.hit_rate")
+            metrics.gauge("fio.lat_ns")
+            metrics.gauge(name)  # dynamic: not statically checkable
+    """)
+    assert "SIM012" not in _ids(vs)

@@ -127,6 +127,17 @@ class TestTreeHelpers:
         text = format_tree(FOREST, max_roots=1)
         assert "fsync" not in text
 
+    def test_format_tree_max_roots_truncation(self):
+        # max_roots cuts whole root subtrees, never children of a
+        # surviving root.
+        one = format_tree(FOREST, max_roots=1)
+        assert [ln.lstrip().split("  ")[0] for ln in one.splitlines()] \
+            == ["op/pread", "syscall/pread", "nvme/media"]
+        # Larger-than-forest and zero bounds behave sanely.
+        assert format_tree(FOREST, max_roots=99) == format_tree(FOREST)
+        assert format_tree(FOREST, max_roots=0) == ""
+        assert format_tree([], max_roots=3) == ""
+
 
 def test_metrics_json_deterministic():
     r = MetricsRegistry()
@@ -139,3 +150,65 @@ def test_metrics_json_deterministic():
     assert doc["histograms"]["h"]["count"] == 3
     assert text == metrics_json(r)
     assert text.index('"a"') < text.index('"b"')
+
+
+def test_metrics_json_mixed_kind_ordering():
+    """Key order is pinned per section, regardless of registration
+    order, with counters/gauges/histograms sharing name prefixes."""
+    r = MetricsRegistry()
+    r.histogram("io.lat_ns").record(10)
+    r.counter("io.ops").inc(4)
+    r.gauge("io.depth").set(2.5)
+    r.counter("faults.count").inc()
+    r.gauge("nvme.qp1.inflight").set(1.0)
+    text = metrics_json(r)
+    doc = json.loads(text)
+    assert list(doc) == ["counters", "gauges", "histograms"]
+    assert list(doc["counters"]) == ["faults.count", "io.ops"]
+    assert list(doc["gauges"]) == ["io.depth", "nvme.qp1.inflight"]
+    assert list(doc["histograms"]) == ["io.lat_ns"]
+    # Byte-stable: re-registering in a different order changes nothing.
+    r2 = MetricsRegistry()
+    r2.gauge("nvme.qp1.inflight").set(1.0)
+    r2.counter("faults.count").inc()
+    r2.gauge("io.depth").set(2.5)
+    r2.counter("io.ops").inc(4)
+    r2.histogram("io.lat_ns").record(10)
+    assert metrics_json(r2) == text
+
+
+class TestCounterEvents:
+    def _series(self):
+        from repro.sim.stats import TimeSeries
+        a = TimeSeries("nvme.qp1.inflight")
+        a.record(1000, 2.0)
+        a.record(2000, 3.0)
+        b = TimeSeries("kernel.blockio.inflight")
+        b.record(1500, 1.0)
+        return {"nvme.qp1.inflight": a, "kernel.blockio.inflight": b}
+
+    def test_counter_event_shape(self):
+        from repro.obs.export import counter_events
+        events = counter_events(self._series())
+        assert [e["ph"] for e in events] == ["C"] * 3
+        # Sorted by gauge name, then sample order within a series.
+        assert [e["name"] for e in events] == [
+            "kernel.blockio.inflight",
+            "nvme.qp1.inflight", "nvme.qp1.inflight"]
+        assert events[1]["ts"] == 1.0 and events[2]["ts"] == 2.0  # us
+        assert events[1]["args"] == {"value": 2.0}
+        assert all(e["tid"] == 0 for e in events)
+
+    def test_chrome_trace_with_counters(self):
+        doc = json.loads(chrome_trace_json(FOREST,
+                                           counters=self._series()))
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "C"}
+
+    def test_omitting_counters_is_byte_identical(self):
+        # The golden-trace contract: counters=None (or {}) must not
+        # change a single byte of the legacy export.
+        legacy = chrome_trace_json(FOREST)
+        assert chrome_trace_json(FOREST, counters=None) == legacy
+        assert chrome_trace_json(FOREST, counters={}) == legacy
+        assert '"ph":"C"' not in legacy

@@ -91,6 +91,43 @@ def test_empty_summary():
     assert Histogram("h").summary() == {"count": 0, "sum": 0}
 
 
+def test_empty_histogram_contract():
+    """Pinned: quantile accessors raise on empty; summary degrades."""
+    h = Histogram("h")
+    with pytest.raises(ValueError, match="no samples"):
+        h.percentile(50)
+    with pytest.raises(ValueError, match="no samples"):
+        h.mean
+    # Exactly these keys, no min/max/quantiles.
+    assert h.summary() == {"count": 0, "sum": 0}
+
+
+@settings(deadline=None, max_examples=100)
+@given(samples)
+def test_merge_with_empty_side_is_identity(values):
+    # Non-empty ← empty: nothing changes.
+    a = Histogram("a")
+    a.record_many(values)
+    before = (dict(a.counts), a.count, a.sum, a.min, a.max)
+    a.merge(Histogram("empty"))
+    assert (dict(a.counts), a.count, a.sum, a.min, a.max) == before
+
+    # Empty ← non-empty: the empty side becomes a copy.
+    b = Histogram("b")
+    src = Histogram("src")
+    src.record_many(values)
+    b.merge(src)
+    assert b.counts == src.counts
+    assert (b.count, b.sum, b.min, b.max) == \
+        (src.count, src.sum, src.min, src.max)
+    assert b.summary() == src.summary()
+
+    # Empty ← empty stays empty.
+    e = Histogram("e")
+    e.merge(Histogram("e2"))
+    assert e.summary() == {"count": 0, "sum": 0}
+
+
 def test_registry_create_on_first_use_and_kind_collision():
     r = MetricsRegistry()
     c = r.counter("x.count")

@@ -249,3 +249,82 @@ class TestConditions:
             return sim.now
 
         assert sim.run_process(body()) == 0
+
+
+class TestObserverProcesses:
+    """Observer processes (telemetry samplers) must never extend a
+    run: ``run()`` stops when only observer-scheduled events remain."""
+
+    def test_periodic_observer_does_not_extend_run(self):
+        sim = Simulator()
+        ticks = []
+
+        def sampler():
+            while True:
+                ticks.append(sim.now)
+                yield sim.timeout(7)
+
+        def workload():
+            yield sim.timeout(50)
+
+        sim.process(sampler(), daemon=True, observer=True)
+        sim.process(workload())
+        end = sim.run()
+        assert end == 50              # not extended past the workload
+        assert ticks and ticks[-1] <= 50
+
+    def test_observer_only_queue_ends_immediately(self):
+        sim = Simulator()
+
+        def sampler():
+            while True:
+                yield sim.timeout(5)
+
+        sim.process(sampler(), daemon=True, observer=True)
+        assert sim.run() == 0
+
+    def test_observer_events_are_tagged_transitively(self):
+        # Events posted *while an observer process is active* inherit
+        # the flag, so an observer's own timeouts never keep the run
+        # alive.
+        sim = Simulator()
+        posted = []
+
+        def sampler():
+            t = sim.timeout(3)
+            posted.append(t)
+            yield t
+
+        sim.process(sampler(), daemon=True, observer=True)
+        sim.timeout(10)  # a real event keeps the run going to 10
+        assert sim.run() == 10
+        assert all(ev._observer for ev in posted)
+
+    def test_run_until_still_honoured_with_observers(self):
+        sim = Simulator()
+
+        def sampler():
+            while True:
+                yield sim.timeout(4)
+
+        sim.process(sampler(), daemon=True, observer=True)
+        sim.timeout(100)
+        # An explicit horizon overrides the observer-only early stop.
+        assert sim.run(until=20) == 20
+
+    def test_resumed_run_does_not_regress_clock(self):
+        # Leftover observer timeouts stay queued; a later run() must
+        # pick up from the same clock, never earlier.
+        sim = Simulator()
+
+        def sampler():
+            while True:
+                yield sim.timeout(7)
+
+        sim.process(sampler(), daemon=True, observer=True)
+        sim.timeout(50)
+        end1 = sim.run()
+        sim.timeout(30)
+        end2 = sim.run()
+        assert end1 == 50
+        assert end2 == 80

@@ -105,6 +105,64 @@ class TestTimeSeries:
         assert ts.between(200, 500) == [2.0, 3.0, 4.0]
         assert ts.values()[0] == 0.0
 
+    def test_out_of_order_record_keeps_samples_sorted(self):
+        ts = TimeSeries()
+        for t in (500, 100, 300, 200, 400, 300):
+            ts.record(t, float(t))
+        stamps = [t for t, _ in ts.samples]
+        assert stamps == sorted(stamps) == [100, 200, 300, 300, 400, 500]
+        # Equal timestamps keep insertion order (insort_right ties).
+        ts.record(300, -1.0)
+        assert ts.between(300, 301) == [300.0, 300.0, -1.0]
+
+    def test_between_is_half_open_and_bisected(self):
+        ts = TimeSeries()
+        for t in range(0, 1000, 100):
+            ts.record(t, float(t))
+        # t0 inclusive, t1 exclusive — exactly like the old linear scan.
+        assert ts.between(200, 500) == [200.0, 300.0, 400.0]
+        assert ts.between(200, 501) == [200.0, 300.0, 400.0, 500.0]
+        assert ts.between(0, 1) == [0.0]
+        assert ts.between(901, 5000) == []
+        assert ts.between(5000, 6000) == []
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10**6),
+                              st.floats(allow_nan=False,
+                                        allow_infinity=False)),
+                    max_size=100),
+           st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=0, max_value=10**6))
+    def test_between_matches_linear_scan(self, points, a, b):
+        t0, t1 = min(a, b), max(a, b)
+        ts = TimeSeries()
+        for t, v in points:
+            ts.record(t, v)
+        linear = [v for t, v in ts.samples if t0 <= t < t1]
+        assert ts.between(t0, t1) == linear
+
+    def test_window_reducers(self):
+        ts = TimeSeries("depth")
+        for t, v in ((0, 1.0), (100, 5.0), (200, 3.0)):
+            ts.record(t, v)
+        assert ts.window_max(0, 201) == 5.0
+        assert ts.window_mean(0, 201) == pytest.approx(3.0)
+        assert ts.window_percentile(0, 201, 50) == 3.0
+        with pytest.raises(ValueError):
+            ts.window_mean(300, 400)
+        with pytest.raises(ValueError):
+            ts.window_max(300, 400)
+
+    def test_latest_and_points_alias(self):
+        ts = TimeSeries()
+        assert ts.latest is None
+        assert ts.summary() == {"count": 0.0}
+        ts.record(10, 2.5)
+        assert ts.latest == (10, 2.5)
+        # Legacy read-only alias sees the same list.
+        assert ts.points is ts.samples
+        s = ts.summary()
+        assert s["count"] == 1.0 and s["last"] == 2.5
+
 
 class TestBreakdownRecorder:
     def test_table1_style(self):

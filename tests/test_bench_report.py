@@ -100,6 +100,17 @@ class TestCLI:
         assert main(["--faults", "bogus_rate=1", "table4"]) == 2
         assert "bad --faults spec" in capsys.readouterr().err
 
+    def test_monitor_flag_appends_telemetry_section(self, capsys):
+        from repro.bench.__main__ import main
+        from repro.obs.monitor import default_monitor
+        assert main(["--monitor", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry [table1]:" in out
+        assert "samples @ 9973 ns" in out
+        assert "SLO breaches across machines:" in out
+        # The ambient monitor config was cleared after the run.
+        assert default_monitor() is None
+
 
 class TestStartGate:
     def test_gate_releases_after_all_arrive(self):

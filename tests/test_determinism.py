@@ -9,6 +9,7 @@ from repro import GiB, Machine
 from repro.apps.fio import FioJob, run_fio
 from repro.apps.wiredtiger import BTreeGeometry, run_wiredtiger_ycsb
 from repro.obs.export import chrome_trace_json, tree_fingerprint
+from repro.obs.monitor import SLO, MonitorConfig
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -129,3 +130,72 @@ def test_tracing_does_not_perturb_timeline():
     assert traced.now == untraced.now
     assert len(traced.tracer.spans) > 0
     assert len(getattr(untraced.tracer, "spans", [])) == 0
+
+
+# -- telemetry monitoring ----------------------------------------------------
+
+def _two_tenant_run(monitor):
+    """Two tenants sharing one device (Fig. 10 shape): two processes,
+    each on its own NVMe queue pair, driving 4K random writes through
+    the BypassD engine — with monitoring on, queue-depth telemetry and
+    a deterministically breaching backlog SLO come out."""
+    m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                capture_data=False, trace=True, monitor=monitor)
+    job = FioJob(engine="bypassd", rw="randwrite", block_size=4096,
+                 file_size=8 << 20, threads=1, processes=2,
+                 ops_per_thread=40, seed=42)
+    r = run_fio(m, job)
+    return m, r
+
+
+TWO_TENANT_SLOS = MonitorConfig(slos=(
+    # Breaches: two tenants pile >= 2 commands onto the shared device.
+    SLO("device_backlog", "nvme.device.inflight", 2.0, reduce="max",
+        window_ns=50_000),
+    # Never breaches: per-op latency stays well under 50 us.
+    SLO("fio_p99", "fio.lat_ns", 50_000.0, reduce="p99",
+        window_ns=200_000),
+))
+
+
+def test_monitoring_does_not_perturb_timeline():
+    """The sampler must be provably time-neutral: same-seed runs with
+    monitoring on (SLOs breaching and all) and off end at the same
+    nanosecond with identical op latencies and an identical span tree
+    (modulo the monitor's own zero-length slo spans)."""
+    mon, mon_r = _two_tenant_run(monitor=TWO_TENANT_SLOS)
+    off, off_r = _two_tenant_run(monitor=False)
+    assert mon.now == off.now
+    assert mon_r.latency.samples == off_r.latency.samples
+    assert mon.monitor is not None and off.monitor is None
+    assert mon.monitor.breach_count > 0  # the SLO actually fired
+    mon_spans = [s for s in mon.tracer.spans if s.category != "slo"]
+    assert tree_fingerprint(mon_spans) \
+        == tree_fingerprint(off.tracer.spans)
+
+
+def test_two_tenant_telemetry_matches_golden():
+    """The full telemetry dump — queue-depth series for both tenants'
+    queue pairs plus the SLO breach record — is pinned byte for byte.
+    Refresh with REPRO_UPDATE_GOLDEN=1 after an intentional change."""
+    m, _ = _two_tenant_run(monitor=TWO_TENANT_SLOS)
+    text = m.monitor.telemetry_json(indent=1) + "\n"
+    golden = GOLDEN_DIR / "two_tenant_telemetry.json"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden.write_text(text, encoding="utf-8")
+    assert golden.exists(), \
+        "golden telemetry missing; run with REPRO_UPDATE_GOLDEN=1"
+    assert text == golden.read_text(encoding="utf-8"), \
+        "telemetry dump changed; if intentional, refresh the golden " \
+        "file with REPRO_UPDATE_GOLDEN=1"
+    # Sanity on the pinned content: both tenants' queue pairs sampled,
+    # and the backlog SLO breached at least once.
+    import json
+    doc = json.loads(text)
+    assert "nvme.qp1.inflight" in doc["gauges"]
+    assert "nvme.qp2.inflight" in doc["gauges"]
+    backlog = next(s for s in doc["slos"]
+                   if s["name"] == "device_backlog")
+    assert backlog["breaches"], "expected a pinned SLO breach"
+    p99 = next(s for s in doc["slos"] if s["name"] == "fio_p99")
+    assert p99["breaches"] == [] and p99["breach_ticks"] == 0
