@@ -3,10 +3,27 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write monitor-demo
+.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write monitor-demo bench-fast bench-clean bench-timings
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# regenerate every paper figure/table: parallel across all cores, with
+# the content-addressed result cache on (reruns after a no-op edit
+# replay instead of re-simulating)
+bench-fast:
+	$(PYTHON) -m repro.bench all --jobs auto --cache
+
+# drop cache entries that can never hit again (recorded under another
+# source tree) plus anything corrupt; `gc --all` clears everything
+bench-clean:
+	$(PYTHON) scripts/bench_cache.py gc
+
+# refresh the committed per-experiment timing records that CI shard
+# balancing (scripts/ci_shard.py) reads
+bench-timings:
+	$(PYTHON) -m repro.bench all --jobs 1 --no-cache \
+	  --timings bench-timings.json > /dev/null
 
 # compare the span-measured latency matrix against BENCH_perf.json
 perf-track:

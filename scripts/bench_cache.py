@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Inspect and garbage-collect the benchmark result cache.
+
+    python scripts/bench_cache.py list
+    python scripts/bench_cache.py key fig6 [--faults SPEC] [--monitor]
+    python scripts/bench_cache.py gc [--max-age-days N] [--all]
+
+``list`` shows every cache entry with its experiment, configuration and
+whether it can still hit (entry tree hash == current source tree).
+``key`` prints the fingerprint a run would look up, plus the inputs it
+was derived from — the tool to reach for when a cache hit "should have
+happened" but didn't.  ``gc`` removes entries recorded under any other
+source tree (they can never hit again), entries older than
+``--max-age-days``, and corrupt files; ``--all`` clears the cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.runner import (  # noqa: E402
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    job_config,
+    job_fingerprint,
+    job_seed,
+    registry_names,
+    source_tree_hash,
+)
+
+
+def cmd_list(cache: ResultCache, tree: str) -> int:
+    entries = cache.entries()
+    if not entries:
+        print(f"cache {cache.dir}: empty")
+        return 0
+    print(f"cache {cache.dir}: {len(entries)} entries "
+          f"(current tree {tree[:12]})")
+    print(f"{'fingerprint':<16} {'experiment':<14} {'tree':<12} "
+          f"{'live':<4} config")
+    for e in entries:
+        fp = str(e.get("fingerprint", ""))[:12]
+        exp = str(e.get("experiment", "?"))
+        etree = str(e.get("tree", ""))[:12]
+        live = "yes" if e.get("tree") == tree else "no"
+        cfg = e.get("config", {})
+        extras = []
+        if cfg.get("faults"):
+            extras.append(f"faults={cfg['faults']}")
+        if cfg.get("monitor"):
+            extras.append("monitor")
+        print(f"{fp:<16} {exp:<14} {etree:<12} {live:<4} "
+              f"{','.join(extras) or '-'}")
+    return 0
+
+
+def cmd_key(cache: ResultCache, tree: str, args) -> int:
+    if args.experiment not in registry_names(include_hidden=True):
+        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        return 2
+    config = job_config(args.experiment, args.faults, args.monitor)
+    fp = job_fingerprint(tree, config)
+    cached = cache.get(fp) is not None
+    print(json.dumps({
+        "experiment": args.experiment,
+        "tree": tree,
+        "config": config,
+        "fingerprint": fp,
+        "seed": job_seed(fp),
+        "cache_dir": str(cache.dir),
+        "cached": cached,
+    }, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_gc(cache: ResultCache, tree: str, args) -> int:
+    max_age_s = (args.max_age_days * 86400.0
+                 if args.max_age_days is not None else None)
+    removed = cache.gc(
+        keep_tree=None if args.all else tree,
+        max_age_s=max_age_s,
+        now_s=time.time() if max_age_s is not None else None,
+        drop_all=args.all,
+    )
+    kept = len(cache.entries())
+    print(f"cache {cache.dir}: removed {len(removed)} entries, "
+          f"{kept} kept")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="bench_cache", description=__doc__)
+    ap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show every cache entry")
+
+    key = sub.add_parser("key", help="print the fingerprint for a job")
+    key.add_argument("experiment")
+    key.add_argument("--faults", default=None, metavar="SPEC")
+    key.add_argument("--monitor", action="store_true")
+
+    gc = sub.add_parser("gc", help="remove stale/corrupt entries")
+    gc.add_argument("--max-age-days", type=float, default=None)
+    gc.add_argument("--all", action="store_true",
+                    help="clear the cache entirely")
+
+    args = ap.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    tree = source_tree_hash()
+    if args.command == "list":
+        return cmd_list(cache, tree)
+    if args.command == "key":
+        return cmd_key(cache, tree, args)
+    return cmd_gc(cache, tree, args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:    # e.g. `bench_cache.py list | head`
+        sys.exit(0)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Partition the ``benchmarks/`` suite into balanced CI shards.
+
+    python scripts/ci_shard.py --shards 2 --index 0
+    python scripts/ci_shard.py --shards 2 --index 1 --format json
+
+Prints the shard's test files (space separated by default) for a CI
+matrix job to hand straight to pytest.  Balancing weights come from the
+committed ``bench-timings.json`` (written by ``python -m repro.bench
+... --timings``): each benchmark file is matched to its experiment by
+name (``benchmarks/test_fig10_device_sharing.py`` → ``fig10``), files
+without a timing record get the median weight so new experiments are
+still distributed sensibly.
+
+The partition is a deterministic longest-processing-time greedy: files
+sorted by (weight desc, name), each assigned to the currently lightest
+shard (ties to the lowest index).  Every file lands in exactly one
+shard, so N shard jobs cover the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.timings import load_timings, timing_weights  # noqa: E402
+
+DEFAULT_TIMINGS = REPO_ROOT / "bench-timings.json"
+_NAME_RE = re.compile(r"^test_([a-z0-9]+)")
+
+
+def experiment_for(path: Path) -> str:
+    """``benchmarks/test_fig10_device_sharing.py`` → ``fig10``."""
+    m = _NAME_RE.match(path.stem)
+    return m.group(1) if m else path.stem
+
+
+def file_weights(files: List[Path],
+                 weights: Dict[str, float]) -> Dict[Path, float]:
+    known = sorted(w for w in weights.values() if w > 0)
+    median = known[len(known) // 2] if known else 1.0
+    return {f: weights.get(experiment_for(f), median) or median
+            for f in files}
+
+
+def partition(files: List[Path], weights: Dict[Path, float],
+              shards: int) -> List[List[Path]]:
+    """Deterministic LPT greedy; returns ``shards`` file lists."""
+    bins: List[List[Path]] = [[] for _ in range(shards)]
+    loads = [0.0] * shards
+    for f in sorted(files, key=lambda f: (-weights[f], f.name)):
+        idx = min(range(shards), key=lambda i: (loads[i], i))
+        bins[idx].append(f)
+        loads[idx] += weights[f]
+    return [sorted(b) for b in bins]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="ci_shard", description=__doc__)
+    ap.add_argument("--shards", type=int, required=True)
+    ap.add_argument("--index", type=int, required=True)
+    ap.add_argument("--timings", type=Path, default=DEFAULT_TIMINGS)
+    ap.add_argument("--benchmarks-dir", type=Path,
+                    default=REPO_ROOT / "benchmarks")
+    ap.add_argument("--format", choices=("args", "json"), default="args")
+    args = ap.parse_args(argv)
+
+    if args.shards < 1 or not (0 <= args.index < args.shards):
+        print(f"bad shard spec: index {args.index} of {args.shards}",
+              file=sys.stderr)
+        return 2
+    files = sorted(args.benchmarks_dir.glob("test_*.py"))
+    if not files:
+        print(f"no benchmark files under {args.benchmarks_dir}",
+              file=sys.stderr)
+        return 2
+    weights: Dict[str, float] = {}
+    if args.timings.exists():
+        weights = timing_weights(load_timings(args.timings))
+    per_file = file_weights(files, weights)
+    shard = partition(files, per_file, args.shards)[args.index]
+    rel = [str(f.relative_to(REPO_ROOT)) if f.is_relative_to(REPO_ROOT)
+           else str(f) for f in shard]
+    if args.format == "json":
+        print(json.dumps({
+            "shard": args.index,
+            "shards": args.shards,
+            "files": rel,
+            "weight_s": round(sum(per_file[f] for f in shard), 2),
+        }, indent=2, sort_keys=True))
+    else:
+        print(" ".join(rel))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Merge sharded CI results into one GitHub Actions job summary.
+
+    python scripts/ci_summary.py results/**/*.xml \
+        --timings bench-timings.json >> "$GITHUB_STEP_SUMMARY"
+
+Reads the junit XML files the shard jobs uploaded (one per shard; the
+label is derived from the file name), renders a per-shard pass/fail
+table, and appends the slowest experiments — from the runner's
+``bench-timings.json`` when available, otherwise from the junit test
+durations.  Plain GitHub-flavoured markdown on stdout; exits 0 even
+for red shards (the shard jobs themselves carry the failure status —
+this tool only reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.timings import load_timings, slowest  # noqa: E402
+
+
+def parse_junit(path: Path) -> Dict[str, object]:
+    """Totals + per-test durations from one junit XML file."""
+    root = ET.parse(path).getroot()
+    suites = root.iter("testsuite") if root.tag == "testsuites" else [root]
+    totals = {"tests": 0, "failures": 0, "errors": 0, "skipped": 0,
+              "time": 0.0}
+    cases: List[Dict[str, object]] = []
+    for suite in suites:
+        for key in ("tests", "failures", "errors", "skipped"):
+            totals[key] += int(suite.get(key, 0) or 0)
+        totals["time"] += float(suite.get("time", 0.0) or 0.0)
+        for case in suite.iter("testcase"):
+            cases.append({
+                "name": f"{case.get('classname', '')}::"
+                        f"{case.get('name', '')}",
+                "time": float(case.get("time", 0.0) or 0.0),
+                "failed": case.find("failure") is not None
+                or case.find("error") is not None,
+            })
+    return {"label": path.stem, "totals": totals, "cases": cases}
+
+
+def shard_table(shards: List[Dict[str, object]]) -> List[str]:
+    lines = ["| shard | tests | failed | errors | skipped | time (s) "
+             "| status |",
+             "|---|---:|---:|---:|---:|---:|---|"]
+    for s in shards:
+        t = s["totals"]
+        red = t["failures"] + t["errors"]
+        status = "✅ pass" if red == 0 else "❌ fail"
+        lines.append(
+            f"| {s['label']} | {t['tests']} | {t['failures']} "
+            f"| {t['errors']} | {t['skipped']} | {t['time']:.1f} "
+            f"| {status} |")
+    return lines
+
+
+def slowest_from_timings(path: Path, n: int) -> List[str]:
+    data = load_timings(path)
+    lines = [f"| experiment | wall (s) | sim time (ms) | machines "
+             "| cached |",
+             "|---|---:|---:|---:|---|"]
+    for e in slowest(data, n):
+        lines.append(
+            f"| {e.get('experiment')} | {e.get('wall_s', 0.0):.2f} "
+            f"| {float(e.get('sim_time_ns', 0)) / 1e6:.1f} "
+            f"| {e.get('machines', 0)} "
+            f"| {'yes' if e.get('cached') else 'no'} |")
+    return lines
+
+
+def slowest_from_junit(shards: List[Dict[str, object]],
+                       n: int) -> List[str]:
+    cases: List[Dict[str, object]] = []
+    for s in shards:
+        for c in s["cases"]:
+            cases.append({**c, "shard": s["label"]})
+    cases.sort(key=lambda c: (-float(c["time"]), str(c["name"])))
+    lines = ["| test | shard | time (s) |", "|---|---|---:|"]
+    for c in cases[:n]:
+        lines.append(f"| `{c['name']}` | {c['shard']} "
+                     f"| {float(c['time']):.1f} |")
+    return lines
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="ci_summary", description=__doc__)
+    ap.add_argument("junit", nargs="+", type=Path,
+                    help="junit XML files, one per shard")
+    ap.add_argument("--timings", type=Path, default=None,
+                    help="bench-timings.json for the slowest-N table")
+    ap.add_argument("--title", default="Sharded CI results")
+    ap.add_argument("--slowest", type=int, default=10)
+    args = ap.parse_args(argv)
+
+    shards = []
+    for path in sorted(args.junit):
+        if not path.exists():
+            print(f"warning: missing junit file {path}", file=sys.stderr)
+            continue
+        shards.append(parse_junit(path))
+    out = [f"## {args.title}", ""]
+    if shards:
+        out.extend(shard_table(shards))
+    else:
+        out.append("_no junit results found_")
+    out.append("")
+    out.append(f"### Slowest {args.slowest} experiments")
+    out.append("")
+    if args.timings is not None and args.timings.exists():
+        out.extend(slowest_from_timings(args.timings, args.slowest))
+    elif shards:
+        out.extend(slowest_from_junit(shards, args.slowest))
+    else:
+        out.append("_no timing data_")
+    print("\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

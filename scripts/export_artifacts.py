@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Export the quickstart run's observability artifacts for CI upload.
+"""Export observability artifacts for CI upload.
 
-Runs the README quickstart workload on a monitored, traced machine and
-writes three files into ``--out`` (default ``artifacts/``):
+Default mode runs the README quickstart workload on a monitored,
+traced machine and writes three files into ``--out`` (default
+``artifacts/``):
 
 - ``quickstart.trace.json`` — Chrome trace with Perfetto counter
   tracks for every telemetry gauge (load at https://ui.perfetto.dev),
@@ -11,13 +12,26 @@ writes three files into ``--out`` (default ``artifacts/``):
 - ``quickstart.telemetry.json`` — the telemetry dump (gauge series,
   summaries, SLO state).
 
+``--bench`` mode instead runs the full experiment matrix through
+:mod:`repro.bench.runner` (honouring ``--jobs``/``--monitor``) and
+bundles every result for artifact upload:
+
+- ``bench/report.txt`` — the merged paper-figure report, byte
+  identical to a serial ``python -m repro.bench all`` run,
+- ``bench/<experiment>.json`` — each experiment's machine-readable
+  payload (ResultTable rows/counters, telemetry counts, timing),
+- ``bench/bench-timings.json`` — per-experiment wall/sim-time records
+  (the file scripts/ci_shard.py balances shards with).
+
 Everything is deterministic, so two CI runs of the same commit upload
-byte-identical artifacts.
+byte-identical artifacts (timing fields aside).
 """
 
 from __future__ import annotations
 
 import argparse
+import io
+import json
 import sys
 from pathlib import Path
 
@@ -48,26 +62,75 @@ def quickstart_machine() -> Machine:
     return m
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="export_artifacts.py",
-        description="Write the quickstart trace, flamegraph and "
-                    "telemetry dump for artifact upload.")
-    parser.add_argument("--out", type=Path, default=Path("artifacts"),
-                        metavar="DIR", help="output directory")
-    args = parser.parse_args(argv)
-
-    args.out.mkdir(parents=True, exist_ok=True)
+def export_quickstart(out: Path) -> int:
+    out.mkdir(parents=True, exist_ok=True)
     m = quickstart_machine()
-    trace = args.out / "quickstart.trace.json"
-    stacks = args.out / "quickstart.stacks.txt"
-    telemetry = args.out / "quickstart.telemetry.json"
+    trace = out / "quickstart.trace.json"
+    stacks = out / "quickstart.stacks.txt"
+    telemetry = out / "quickstart.telemetry.json"
     m.write_chrome_trace(trace)
     m.write_flamegraph(stacks)
     m.write_telemetry(telemetry)
     for path in (trace, stacks, telemetry):
         print(f"wrote {path} ({path.stat().st_size} bytes)")
     return 0
+
+
+def export_bench(out: Path, jobs: str, monitor: bool,
+                 experiments=None) -> int:
+    from repro.bench.runner import registry_names, run_experiments
+
+    bench = out / "bench"
+    bench.mkdir(parents=True, exist_ok=True)
+    names = list(experiments) if experiments else registry_names()
+    merged = io.StringIO()
+    report = run_experiments(
+        names, jobs=jobs, monitor=monitor,
+        timings_path=bench / "bench-timings.json",
+        out=merged, err=sys.stderr)
+    (bench / "report.txt").write_text(merged.getvalue(),
+                                      encoding="utf-8")
+    for r in report.results:
+        path = bench / f"{r.experiment}.json"
+        path.write_text(json.dumps(r.payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+    written = sorted(bench.iterdir())
+    for path in written:
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    if not report.ok:
+        for r in report.failures:
+            print(f"error: experiment {r.experiment} failed",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="export_artifacts.py",
+        description="Write CI artifact bundles: the quickstart "
+                    "trace/flamegraph/telemetry (default) or the full "
+                    "benchmark result bundle (--bench).")
+    parser.add_argument("--out", type=Path, default=Path("artifacts"),
+                        metavar="DIR", help="output directory")
+    parser.add_argument("--bench", action="store_true",
+                        help="export the full experiment matrix "
+                             "(report + per-experiment payloads + "
+                             "timings) instead of quickstart artifacts")
+    parser.add_argument("--jobs", default="1", metavar="N|auto",
+                        help="worker processes for --bench (default 1)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="run --bench experiments with continuous "
+                             "telemetry monitoring")
+    parser.add_argument("--experiments", nargs="*", metavar="NAME",
+                        help="subset of experiments for --bench "
+                             "(default: all public)")
+    args = parser.parse_args(argv)
+
+    if args.bench:
+        return export_bench(args.out, args.jobs, args.monitor,
+                            args.experiments)
+    return export_quickstart(args.out)
 
 
 if __name__ == "__main__":

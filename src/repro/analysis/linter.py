@@ -98,6 +98,14 @@ SERIES_ATTRS = {"samples", "points"}
 SERIES_MUTATORS = {"append", "extend", "insert", "remove", "pop",
                    "clear", "sort", "reverse"}
 
+# SIM013: process-level parallelism is the experiment orchestrator's
+# exclusive turf; everything else must stay single-threaded
+# deterministic.  Module roots whose import is flagged, plus the pool
+# names flagged wherever they are imported from.
+MP_MODULE_ROOTS = {"multiprocessing", "_multiprocessing"}
+MP_POOL_NAMES = {"ProcessPoolExecutor", "ThreadPoolExecutor", "Pool"}
+MP_ALLOWED_SUFFIX = "bench/runner.py"
+
 # SIM012: the documented gauge naming scheme (docs/observability.md):
 # <subsystem>.<object>.<metric> — lowercase/digits/underscores, two or
 # more dot-separated components.  Keep in sync with
@@ -301,6 +309,8 @@ class _Checker(ast.NodeVisitor):
         norm = path.replace("\\", "/")
         # sim/ owns TimeSeries and may touch .samples directly (SIM011)
         self._in_sim_layer = "/sim/" in norm or norm.startswith("sim/")
+        # bench/runner.py is the one sanctioned process-pool site (SIM013)
+        self._is_pool_owner = norm.endswith(MP_ALLOWED_SUFFIX)
         self.out: List[Violation] = []
         self._fn_stack: List[dict] = []   # {"generator":bool,"process":bool}
         # comprehension nodes consumed by an order-insensitive callable
@@ -374,6 +384,7 @@ class _Checker(ast.NodeVisitor):
             self._check_unseeded_rng(node, full)
             self._check_clock_sink(node, full)
             self._check_id_ordering_call(node, full)
+            self._check_mp_call(node, full)
         self._check_series_mutation_call(node)
         self._check_gauge_name(node)
         self.generic_visit(node)
@@ -538,6 +549,44 @@ class _Checker(ast.NodeVisitor):
             f"gauge name {arg.value!r} is outside the documented scheme "
             f"<subsystem>.<object>.<metric> (lowercase dotted, two or "
             f"more components; see docs/observability.md)")
+
+    # -- SIM013: multiprocessing outside the runner --------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in MP_MODULE_ROOTS:
+                self._report_mp(node, f"import {alias.name}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        root = module.split(".")[0]
+        if root in MP_MODULE_ROOTS:
+            self._report_mp(node, f"from {module} import ...")
+        elif root == "concurrent":
+            pools = [a.name for a in node.names
+                     if a.name in MP_POOL_NAMES or a.name == "*"]
+            if pools:
+                self._report_mp(
+                    node, f"from {module} import {', '.join(pools)}")
+        self.generic_visit(node)
+
+    def _check_mp_call(self, node: ast.Call, full: str) -> None:
+        root = full.split(".")[0]
+        if root in MP_MODULE_ROOTS or (
+                root == "concurrent"
+                and full.rsplit(".", 1)[-1] in MP_POOL_NAMES):
+            self._report_mp(node, f"call to {full}()")
+
+    def _report_mp(self, node: ast.AST, what: str) -> None:
+        if self._is_pool_owner:
+            return
+        self.report(
+            "SIM013", node,
+            f"{what}: process-level parallelism is allowed only in "
+            f"repro/bench/runner.py (the experiment orchestrator); "
+            f"simulation code must stay single-threaded deterministic")
 
     # -- SIM002: unordered iteration ----------------------------------------
 

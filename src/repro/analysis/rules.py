@@ -192,6 +192,23 @@ RULES: Tuple[Rule, ...] = (
         ),
         tags=("observability",),
     ),
+    Rule(
+        id="SIM013",
+        name="multiprocessing-outside-runner",
+        severity=ERROR,
+        summary="multiprocessing/process-pool use outside "
+                "bench/runner.py",
+        rationale=(
+            "the simulation promises single-threaded determinism: one "
+            "event loop, one timeline, byte-identical same-seed runs.  "
+            "Process-level parallelism lives exclusively at the "
+            "experiment-orchestration boundary (repro.bench.runner), "
+            "where whole jobs fan out and merge in a fixed order.  A "
+            "pool inside model code would interleave timelines "
+            "nondeterministically."
+        ),
+        tags=("determinism", "layering"),
+    ),
 )
 
 _BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}

@@ -4,14 +4,26 @@
     python -m repro.bench table1 fig6 fig9
     python -m repro.bench all
 
+Parallel + cached regeneration (see docs/bench_runner.md):
+
+    python -m repro.bench all --jobs auto --cache
+    python -m repro.bench fig6 fig9 --jobs 4 --timings bench-timings.json
+
+``--jobs N`` fans experiments out over N worker processes; the merged
+output is byte-identical to a serial run.  ``--cache`` keeps results in
+``.bench-cache/`` keyed by a content fingerprint (source tree + config)
+so an unchanged experiment is replayed instead of re-simulated;
+``--no-cache`` forces fresh simulation.  ``--timings`` writes the
+per-experiment wall/sim-time records CI sharding feeds on.
+
 Fault injection applies to any experiment without code changes:
 
     python -m repro.bench --faults seed=7,media_error_rate=0.001 fig6
 
-installs a process-wide default injector that every Machine built by
-the experiments adopts, and prints the injector's fault totals after
-the runs (the counters also land in each table's footer when the
-experiment attaches machine stats).
+arms a per-job injector (same plan seed in every job, so the schedule
+is deterministic regardless of --jobs) and prints the summed fault
+totals after the runs (the counters also land in each table's footer
+when the experiment attaches machine stats).
 
 Continuous telemetry works the same way:
 
@@ -21,89 +33,19 @@ installs an ambient monitor config (queue-depth and backlog SLOs) so
 every Machine the experiments build attaches a sampler; after each
 experiment a telemetry section — representative sparklines plus the
 SLO breach table — is appended to the report.
+
+A failing experiment no longer takes the exit status down with it
+silently: every failure is reported on stderr, the remaining targets
+still run, and the process exits nonzero.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from ..faults import FaultInjector, FaultPlan, set_default_injector
-from ..obs.monitor import (
-    SLO,
-    MonitorConfig,
-    drain_ambient_monitors,
-    set_default_monitor,
-)
-from . import experiments
-from .report import ResultTable
-
-_REGISTRY = {
-    "table1": experiments.table1_latency_breakdown,
-    "table2": experiments.table2_implementation_size,
-    "table4": experiments.table4_iommu_overheads,
-    "fig5": experiments.fig5_translations_per_request,
-    "fig6": experiments.fig6_fio_latency,
-    "fig6-write": lambda: experiments.fig6_fio_latency(rw="randwrite"),
-    "fig7": experiments.fig7_latency_breakdown,
-    "fig8": experiments.fig8_translation_sensitivity,
-    "fig9": experiments.fig9_thread_scaling,
-    "fig10": experiments.fig10_device_sharing,
-    "fig11": experiments.fig11_io_scheduling,
-    "fig12": experiments.fig12_revocation_timeline,
-    "table5": experiments.table5_fmap_overheads,
-    "memory": experiments.memory_overheads,
-    "fig13": experiments.fig13_wiredtiger_threads,
-    "fig14": experiments.fig14_wiredtiger_cache,
-    "fig15": experiments.fig15_bpfkv,
-    "fig16": experiments.fig16_kvell,
-    "table6": experiments.table6_capabilities,
-}
-
-
-# SLOs applied by `--monitor`: backlog bounds that a healthy run of
-# every experiment satisfies, so any breach printed below is signal.
-_MONITOR_SLOS = (
-    SLO("device_backlog", "nvme.device.inflight", 24.0,
-        reduce="max", window_ns=100_000),
-    SLO("softirq_backlog", "kernel.blockio.softirq_backlog", 32.0,
-        reduce="max", window_ns=100_000),
-)
-
-
-def _telemetry_section(name: str, monitors) -> str:
-    """Aggregated telemetry for one experiment's machines: the busiest
-    machine's sparklines as the representative sample, plus every
-    machine's SLO breaches in one table."""
-    if not monitors:
-        return f"telemetry [{name}]: no machines monitored"
-    busiest = max(monitors,
-                  key=lambda mon: (mon.samples_taken,
-                                   len(mon.series)))
-    lines = [f"telemetry [{name}]: {len(monitors)} machine(s), "
-             f"{sum(mon.samples_taken for mon in monitors)} samples"]
-    lines.append(busiest.report())
-    total_breaches = sum(mon.breach_count for mon in monitors)
-    lines.append(f"SLO breaches across machines: {total_breaches}")
-    if total_breaches:
-        lines.append(f"  {'machine':>8}  {'t_ns':>12}  {'slo':<24} value")
-        for idx, mon in enumerate(monitors):
-            for b in mon.breaches:
-                lines.append(f"  {idx:>8}  {b.t_ns:>12}  {b.slo:<24} "
-                             f"{b.value:g}")
-    return "\n".join(lines)
-
-
-def _fault_summary_table(injector: FaultInjector) -> ResultTable:
-    table = ResultTable(
-        "Fault injection summary",
-        ["Fault kind", "Injected"],
-        notes=f"plan seed={injector.plan.seed}; identical seeds produce "
-              "identical fault schedules")
-    for kind, count in injector.summary().items():
-        table.add(kind, count)
-    return table
+from ..faults import FaultPlan
+from . import runner
 
 
 def main(argv=None) -> int:
@@ -112,6 +54,27 @@ def main(argv=None) -> int:
         description="Regenerate tables/figures from the BypassD paper.")
     parser.add_argument("targets", nargs="+",
                         help="experiment names, 'list', or 'all'")
+    parser.add_argument(
+        "--jobs", default="1", metavar="N",
+        help="worker processes ('auto' = CPU count; default 1). The "
+             "merged output is byte-identical to a serial run.")
+    parser.add_argument(
+        "--cache", nargs="?", const=runner.DEFAULT_CACHE_DIR,
+        default=None, metavar="DIR",
+        help="enable the content-addressed result cache "
+             f"(default dir: {runner.DEFAULT_CACHE_DIR})")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="force fresh simulation even if --cache is given")
+    parser.add_argument(
+        "--timings", default=None, metavar="PATH",
+        help="write per-experiment wall/sim-time records "
+             "(bench-timings.json schema) to PATH")
+    parser.add_argument(
+        "--start-method", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for --jobs > 1 "
+             "(default: platform default)")
     parser.add_argument(
         "--faults", metavar="SPEC", default=None,
         help="fault-injection spec applied to every machine the "
@@ -126,50 +89,48 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:
-        for name in _REGISTRY:
+        for name in runner.registry_names():
             print(name)
         return 0
 
-    targets = (list(_REGISTRY) if args.targets == ["all"]
+    targets = (runner.registry_names() if args.targets == ["all"]
                else args.targets)
-    unknown = [t for t in targets if t not in _REGISTRY]
+    known = set(runner.registry_names(include_hidden=True))
+    unknown = [t for t in targets if t not in known]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
-        print(f"available: {', '.join(_REGISTRY)}", file=sys.stderr)
+        print(f"available: {', '.join(runner.registry_names())}",
+              file=sys.stderr)
         return 2
 
-    injector = None
     if args.faults is not None:
         try:
-            injector = FaultInjector(FaultPlan.parse(args.faults))
+            FaultPlan.parse(args.faults)
         except ValueError as exc:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
-        set_default_injector(injector)
-    if args.monitor:
-        set_default_monitor(MonitorConfig(slos=_MONITOR_SLOS))
-
     try:
-        for name in targets:
-            # host wall clock for operator progress output only; never
-            # feeds simulated time.  # simlint: ignore[SIM001]
-            t0 = time.time()
-            table = _REGISTRY[name]()
-            table.show()
-            if args.monitor:
-                print(_telemetry_section(name,
-                                         drain_ambient_monitors()))
-            print(f"[{name}: {time.time() - t0:.1f}s]",  # simlint: ignore[SIM001]
-                  file=sys.stderr)
-    finally:
-        if injector is not None:
-            set_default_injector(None)
-        if args.monitor:
-            set_default_monitor(None)
+        jobs = runner.resolve_jobs(args.jobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
-    if injector is not None:
-        _fault_summary_table(injector).show()
+    cache_dir = None if args.no_cache else args.cache
+    report = runner.run_experiments(
+        targets,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        faults=args.faults,
+        monitor=args.monitor,
+        start_method=args.start_method,
+        timings_path=args.timings,
+    )
+    if not report.ok:
+        failed = ", ".join(r.experiment for r in report.failures)
+        print(f"{len(report.failures)} experiment(s) failed: {failed}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -56,7 +56,32 @@ from .sim.engine import Simulator
 from .sim.stats import Stats
 from .sim.trace import NULL_TRACER, Tracer
 
-__all__ = ["Machine"]
+__all__ = ["Machine", "capture_machines", "captured_machines"]
+
+
+# -- construction capture (armed by the bench runner) -----------------------
+#
+# Experiments build their machines internally, so the parallel runner
+# cannot see them to attribute simulated time to a job.  While a sink
+# list is armed here, every Machine constructed registers itself; the
+# runner sums `machine.now` over the sink when the job finishes.  Like
+# the ambient fault injector and monitor config, this is process-wide
+# mutable state: worker processes reset it before each job
+# (:func:`repro.bench.runner.reset_ambient_state`) so nothing leaks
+# across fork/spawn boundaries.
+
+_CAPTURE: Optional[List["Machine"]] = None
+
+
+def capture_machines(sink: Optional[List["Machine"]]) -> None:
+    """Arm (with a list) or disarm (with None) construction capture."""
+    global _CAPTURE
+    _CAPTURE = sink
+
+
+def captured_machines() -> Optional[List["Machine"]]:
+    """The currently armed sink, if any (introspection/testing)."""
+    return _CAPTURE
 
 
 class Machine:
@@ -116,6 +141,8 @@ class Machine:
         if self.faults.plan.crash_at_ns is not None:
             self.sim.process(self._power_fail(self.faults.plan.crash_at_ns),
                              name="power-fail")
+        if _CAPTURE is not None:
+            _CAPTURE.append(self)
 
     @staticmethod
     def _resolve_injector(faults) -> FaultInjector:

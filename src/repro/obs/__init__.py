@@ -19,6 +19,9 @@ Three pieces (see ``docs/observability.md``):
 * :mod:`repro.obs.diff` — run-to-run regression attribution: aligned
   span-tree diffing of two trace/metrics dumps, per-layer deltas and
   retry attribution (``scripts/trace_diff.py``).
+* :mod:`repro.obs.timings` — the ``bench-timings.json`` schema: per
+  experiment wall-clock and simulated-time records written by the
+  parallel runner and consumed by the CI sharder.
 """
 
 from .export import (
@@ -40,8 +43,18 @@ from .monitor import (
     MonitorConfig,
     sparkline,
 )
+from .timings import (
+    JobTiming,
+    load_timings,
+    timing_weights,
+    write_timings,
+)
 
 __all__ = [
+    "JobTiming",
+    "load_timings",
+    "timing_weights",
+    "write_timings",
     "Breach",
     "Counter",
     "Gauge",

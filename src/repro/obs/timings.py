@@ -1,0 +1,124 @@
+"""Machine-readable benchmark timing records (``bench-timings.json``).
+
+The parallel experiment runner (:mod:`repro.bench.runner`) measures two
+clocks per job: host wall time (how long the orchestrator waited) and
+simulated time (the sum of ``machine.now`` over every machine the
+experiment built).  The first is what CI sharding balances on; the
+second is the deterministic "size" of the experiment and is identical
+across hosts.
+
+The on-disk schema is versioned and deliberately flat so shell tooling
+(``jq``, ``scripts/ci_shard.py``, ``scripts/ci_summary.py``) can
+consume it without importing the simulator::
+
+    {
+      "schema": 1,
+      "tree": "<sha256 of src/repro>",
+      "jobs": 4,
+      "start_method": "fork",
+      "total_wall_s": 12.5,
+      "experiments": [
+        {"experiment": "fig6", "wall_s": 3.1, "sim_time_ns": 812000,
+         "machines": 30, "cached": false, "ok": true},
+        ...
+      ]
+    }
+
+``experiments`` is sorted by experiment name, so two dumps of the same
+run diff cleanly; only the ``wall_s``/``total_wall_s`` fields are
+host-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["TIMINGS_SCHEMA", "JobTiming", "write_timings",
+           "load_timings", "timing_weights", "slowest"]
+
+TIMINGS_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """One experiment's cost, as measured by the runner."""
+
+    experiment: str
+    wall_s: float          # host wall-clock (0.0 for cache hits)
+    sim_time_ns: int       # total simulated time across built machines
+    machines: int          # machines the experiment constructed
+    cached: bool           # served from the result cache
+    ok: bool               # experiment completed without raising
+
+    def to_dict(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["wall_s"] = round(self.wall_s, 4)
+        return d
+
+
+def write_timings(path: Union[str, Path],
+                  timings: Sequence[JobTiming], *,
+                  tree: str = "",
+                  jobs: int = 1,
+                  start_method: str = "",
+                  total_wall_s: float = 0.0) -> str:
+    """Write a timings dump; returns the path written."""
+    payload = {
+        "schema": TIMINGS_SCHEMA,
+        "tree": tree,
+        "jobs": jobs,
+        "start_method": start_method,
+        "total_wall_s": round(total_wall_s, 4),
+        "experiments": [t.to_dict() for t in
+                        sorted(timings, key=lambda t: t.experiment)],
+    }
+    p = Path(path)
+    if p.parent != Path(""):
+        p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                 encoding="utf-8")
+    return str(p)
+
+
+def load_timings(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a timings dump, validating the schema version."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = data.get("schema")
+    if schema != TIMINGS_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported timings schema {schema!r} "
+            f"(expected {TIMINGS_SCHEMA})")
+    return data
+
+
+def timing_weights(data: Dict[str, object],
+                   key: str = "wall_s") -> Dict[str, float]:
+    """``experiment -> weight`` from a loaded dump (sharding input).
+
+    Cache hits report ~0 wall seconds, which would starve the balancer;
+    they fall back to simulated milliseconds so every experiment keeps
+    a meaningful relative size.
+    """
+    out: Dict[str, float] = {}
+    experiments: List[dict] = data.get("experiments", [])  # type: ignore
+    for entry in experiments:
+        name = entry.get("experiment")
+        if not name:
+            continue
+        weight = float(entry.get(key, 0.0) or 0.0)
+        if weight <= 0.0:
+            weight = float(entry.get("sim_time_ns", 0) or 0) / 1e6
+        out[str(name)] = weight
+    return out
+
+
+def slowest(data: Dict[str, object], n: int = 10) -> List[dict]:
+    """The ``n`` slowest experiment entries by wall time (ties by
+    name, so the listing is deterministic)."""
+    experiments: List[dict] = list(data.get("experiments", []))  # type: ignore
+    experiments.sort(key=lambda e: (-float(e.get("wall_s", 0.0) or 0.0),
+                                    str(e.get("experiment", ""))))
+    return experiments[:n]

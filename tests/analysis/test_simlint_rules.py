@@ -485,3 +485,59 @@ def test_sim012_ok_compliant_and_dynamic_names():
             metrics.gauge(name)  # dynamic: not statically checkable
     """)
     assert "SIM012" not in _ids(vs)
+
+
+# -- SIM013: multiprocessing outside bench/runner.py --------------------
+
+def test_sim013_flags_multiprocessing_import():
+    vs = _lint("""
+        import multiprocessing
+
+        def fan_out(jobs):
+            with multiprocessing.Pool(4) as pool:
+                return pool.map(str, jobs)
+    """)
+    assert "SIM013" in _ids(vs)
+
+
+def test_sim013_flags_pool_from_import():
+    vs = _lint("""
+        from concurrent.futures import ProcessPoolExecutor
+
+        def fan_out(jobs):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(str, jobs))
+    """)
+    assert "SIM013" in _ids(vs)
+
+
+def test_sim013_flags_thread_pool_too():
+    # Threads interleave timelines just as nondeterministically.
+    vs = _lint("""
+        from concurrent.futures import ThreadPoolExecutor
+    """)
+    assert "SIM013" in _ids(vs)
+
+
+def test_sim013_ok_inside_bench_runner():
+    vs = _lint("""
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import get_context
+
+        def fan_out(jobs):
+            ctx = get_context("fork")
+            with ProcessPoolExecutor(4, mp_context=ctx) as pool:
+                return list(pool.map(str, jobs))
+    """, path="src/repro/bench/runner.py")
+    assert "SIM013" not in _ids(vs)
+
+
+def test_sim013_ok_plain_concurrent_futures_types():
+    # Importing non-pool names from concurrent.futures is fine.
+    vs = _lint("""
+        from concurrent.futures import Future
+
+        def pending():
+            return Future()
+    """)
+    assert "SIM013" not in _ids(vs)

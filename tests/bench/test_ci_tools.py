@@ -1,0 +1,150 @@
+"""Tests for the CI sharding and summary tools in scripts/."""
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPTS = REPO_ROOT / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+ci_shard = importlib.import_module("ci_shard")
+ci_summary = importlib.import_module("ci_summary")
+
+
+def timings_file(tmp_path, entries):
+    path = tmp_path / "bench-timings.json"
+    path.write_text(json.dumps({
+        "schema": 1, "tree": "t", "jobs": 1, "start_method": "",
+        "total_wall_s": sum(e.get("wall_s", 0.0) for e in entries),
+        "experiments": entries,
+    }))
+    return path
+
+
+class TestShardPartition:
+    def test_experiment_name_extraction(self):
+        assert ci_shard.experiment_for(
+            Path("benchmarks/test_fig10_device_sharing.py")) == "fig10"
+        assert ci_shard.experiment_for(
+            Path("benchmarks/test_table1_latency_breakdown.py")) == "table1"
+
+    def test_partition_is_deterministic_and_total(self):
+        files = [Path(f"benchmarks/test_fig{i}_x.py") for i in range(8)]
+        weights = {f: float(i + 1) for i, f in enumerate(files)}
+        a = ci_shard.partition(files, weights, 2)
+        b = ci_shard.partition(files, weights, 2)
+        assert a == b
+        combined = sorted(p for shard in a for p in shard)
+        assert combined == sorted(files)
+
+    def test_partition_balances_loads(self):
+        files = [Path(f"t{i}.py") for i in range(6)]
+        weights = dict.fromkeys(files, 1.0)
+        weights[files[0]] = 10.0
+        shards = ci_shard.partition(files, weights, 2)
+        loads = [sum(weights[f] for f in s) for s in shards]
+        # LPT: the heavy file sits alone-ish; loads within one unit of
+        # optimal (10 vs 5).
+        assert max(loads) == 10.0
+
+    def test_every_benchmark_file_lands_in_exactly_one_shard(self):
+        files = sorted((REPO_ROOT / "benchmarks").glob("test_*.py"))
+        assert files, "benchmarks/ suite is missing"
+        weights = ci_shard.file_weights(files, {})
+        shards = ci_shard.partition(files, weights, 2)
+        combined = sorted(p for shard in shards for p in shard)
+        assert combined == files
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        timings = timings_file(tmp_path, [
+            {"experiment": "fig6", "wall_s": 3.0, "sim_time_ns": 10,
+             "machines": 1, "cached": False, "ok": True},
+        ])
+        rc = ci_shard.main(["--shards", "2", "--index", "0",
+                            "--timings", str(timings),
+                            "--format", "json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["shards"] == 2 and data["shard"] == 0
+        assert all(f.startswith("benchmarks/") for f in data["files"])
+
+    def test_cli_rejects_bad_index(self, tmp_path):
+        assert ci_shard.main(["--shards", "2", "--index", "2"]) == 2
+
+
+class TestSummary:
+    JUNIT = ('<testsuites><testsuite tests="3" failures="1" errors="0" '
+             'skipped="0" time="4.5">'
+             '<testcase classname="b.t" name="ok" time="1.0"/>'
+             '<testcase classname="b.t" name="slow" time="3.0"/>'
+             '<testcase classname="b.t" name="bad" time="0.5">'
+             '<failure message="boom"/></testcase>'
+             '</testsuite></testsuites>')
+
+    def test_parse_junit_totals(self, tmp_path):
+        path = tmp_path / "bench-shard0.xml"
+        path.write_text(self.JUNIT)
+        parsed = ci_summary.parse_junit(path)
+        assert parsed["label"] == "bench-shard0"
+        assert parsed["totals"]["tests"] == 3
+        assert parsed["totals"]["failures"] == 1
+        assert sum(c["failed"] for c in parsed["cases"]) == 1
+
+    def test_markdown_summary_merges_shards(self, tmp_path, capsys):
+        ok = ('<testsuite tests="2" failures="0" errors="0" '
+              'skipped="0" time="1.0">'
+              '<testcase classname="u" name="a" time="0.5"/>'
+              '<testcase classname="u" name="b" time="0.5"/>'
+              '</testsuite>')
+        (tmp_path / "unit.xml").write_text(ok)
+        (tmp_path / "bench-shard0.xml").write_text(self.JUNIT)
+        timings = timings_file(tmp_path, [
+            {"experiment": "fig13", "wall_s": 58.0, "sim_time_ns": 5,
+             "machines": 40, "cached": False, "ok": True},
+            {"experiment": "table2", "wall_s": 0.01, "sim_time_ns": 0,
+             "machines": 0, "cached": False, "ok": True},
+        ])
+        rc = ci_summary.main([str(tmp_path / "unit.xml"),
+                              str(tmp_path / "bench-shard0.xml"),
+                              "--timings", str(timings)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| unit | 2 | 0 |" in out
+        assert "❌ fail" in out and "✅ pass" in out
+        assert "Slowest 10 experiments" in out
+        # fig13 tops the slowest table
+        assert out.index("fig13") < out.index("table2")
+
+    def test_summary_without_timings_uses_junit_durations(
+            self, tmp_path, capsys):
+        (tmp_path / "bench-shard0.xml").write_text(self.JUNIT)
+        rc = ci_summary.main([str(tmp_path / "bench-shard0.xml")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "`b.t::slow`" in out
+
+    def test_missing_junit_files_warn_not_crash(self, tmp_path, capsys):
+        rc = ci_summary.main([str(tmp_path / "nope.xml")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "_no junit results found_" in captured.out
+        assert "missing junit file" in captured.err
+
+
+class TestCommittedTimings:
+    def test_committed_timings_cover_benchmark_files(self):
+        """The repo-root bench-timings.json drives shard balancing;
+        it must parse and give every benchmark file a usable weight."""
+        path = REPO_ROOT / "bench-timings.json"
+        if not path.exists():
+            pytest.skip("bench-timings.json not generated yet")
+        from repro.obs.timings import load_timings, timing_weights
+        weights = timing_weights(load_timings(path))
+        assert weights, "committed timings are empty"
+        files = sorted((REPO_ROOT / "benchmarks").glob("test_*.py"))
+        per_file = ci_shard.file_weights(files, weights)
+        assert all(w > 0 for w in per_file.values())
