@@ -3,10 +3,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write monitor-demo bench-fast bench-clean bench-timings
+.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write monitor-demo bench-fast bench-clean bench-timings chaos chaos-replay
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# seeded chaos batch on every core; shrinks any failure to a minimal
+# reproducer under /tmp/chaos-failures (CHAOS_SEED=n to pin the seed)
+CHAOS_SEED ?= 0
+chaos:
+	$(PYTHON) -m repro.chaos fuzz --seed $(CHAOS_SEED) --count 200 \
+	  --jobs auto --shrink --out /tmp/chaos-failures
+
+# replay the committed reproducer corpus (also part of `make test`)
+chaos-replay:
+	$(PYTHON) -m repro.chaos replay --corpus
 
 # regenerate every paper figure/table: parallel across all cores, with
 # the content-addressed result cache on (reruns after a no-op edit

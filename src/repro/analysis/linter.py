@@ -106,6 +106,33 @@ MP_MODULE_ROOTS = {"multiprocessing", "_multiprocessing"}
 MP_POOL_NAMES = {"ProcessPoolExecutor", "ThreadPoolExecutor", "Pool"}
 MP_ALLOWED_SUFFIX = "bench/runner.py"
 
+# SIM014: the chaos oracles (repro/chaos/oracles.py) must be pure
+# observers — judging a run may not change it.  Within that module we
+# flag (a) attribute assignment/deletion on anything that is not
+# ``self``, and (b) calls to known mutating method names on any
+# receiver except *scratch*: a local name bound to a freshly built
+# container (``out = []``, ``seen = set()``).  Parameters, loop
+# variables and lookups are simulation state; scratch is the oracle's
+# own working memory.
+ORACLE_MODULE_SUFFIX = "chaos/oracles.py"
+ORACLE_MUTATORS = {
+    # container mutators
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "update", "setdefault", "add", "discard",
+    # event/engine/process mutators
+    "succeed", "fail", "interrupt", "schedule", "run", "run_process",
+    "process", "spawn", "timeout",
+    # device/queue/kernel mutators
+    "submit", "abort", "reap", "post_completion", "pop_completion",
+    "write_blocks", "zero_blocks", "flush",
+    # telemetry / fault / fs mutators
+    "record", "observe", "inc", "set", "log", "commit",
+    "drop_running", "record_crash", "sample", "arm", "disarm",
+    "recover_after_crash", "put", "acquire", "release",
+}
+ORACLE_FRESH_BUILTINS = {"list", "dict", "set", "tuple", "sorted",
+                         "Counter", "defaultdict", "OrderedDict"}
+
 # SIM012: the documented gauge naming scheme (docs/observability.md):
 # <subsystem>.<object>.<metric> — lowercase/digits/underscores, two or
 # more dot-separated components.  Keep in sync with
@@ -299,6 +326,39 @@ def _dotted_target(node: ast.AST) -> Optional[str]:
     return ".".join(reversed(parts))
 
 
+def _scratch_names(fn: ast.AST) -> Set[str]:
+    """Names bound to freshly built containers inside ``fn`` (SIM014).
+
+    ``out = []`` / ``seen: Set[str] = set()`` make *scratch* the
+    oracle may mutate; ``inode = fs.lookup(...)`` or a loop variable
+    alias simulation state and do not.
+    """
+    fresh: Set[str] = set()
+    for n in ast.walk(fn):
+        if isinstance(n, ast.Assign):
+            targets, value = n.targets, n.value
+        elif isinstance(n, ast.AnnAssign) and n.value is not None:
+            targets, value = [n.target], n.value
+        else:
+            continue
+        if not _is_fresh_container(value):
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                fresh.add(t.id)
+    return fresh
+
+
+def _is_fresh_container(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.Tuple,
+                          ast.ListComp, ast.SetComp, ast.DictComp,
+                          ast.GeneratorExp)):
+        return True
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ORACLE_FRESH_BUILTINS)
+
+
 class _Checker(ast.NodeVisitor):
     def __init__(self, path: str, ctx: _ModuleContext,
                  enabled: Set[str], is_hot_module: bool):
@@ -311,6 +371,9 @@ class _Checker(ast.NodeVisitor):
         self._in_sim_layer = "/sim/" in norm or norm.startswith("sim/")
         # bench/runner.py is the one sanctioned process-pool site (SIM013)
         self._is_pool_owner = norm.endswith(MP_ALLOWED_SUFFIX)
+        # chaos/oracles.py is held to read-only discipline (SIM014)
+        self._is_oracle_module = norm.endswith(ORACLE_MODULE_SUFFIX)
+        self._oracle_scratch: List[Set[str]] = []
         self.out: List[Violation] = []
         self._fn_stack: List[dict] = []   # {"generator":bool,"process":bool}
         # comprehension nodes consumed by an order-insensitive callable
@@ -357,8 +420,12 @@ class _Checker(ast.NodeVisitor):
                     is_process = True
                     break
         self._fn_stack.append({"generator": is_gen, "process": is_process})
+        if self._is_oracle_module:
+            self._oracle_scratch.append(_scratch_names(node))
         self._check_double_trigger(node)
         self.generic_visit(node)
+        if self._is_oracle_module:
+            self._oracle_scratch.pop()
         self._fn_stack.pop()
 
     @property
@@ -387,6 +454,7 @@ class _Checker(ast.NodeVisitor):
             self._check_mp_call(node, full)
         self._check_series_mutation_call(node)
         self._check_gauge_name(node)
+        self._check_oracle_mutation_call(node)
         self.generic_visit(node)
 
     def _check_entropy(self, node: ast.Call, full: str) -> None:
@@ -461,6 +529,7 @@ class _Checker(ast.NodeVisitor):
                             "sim.now is integer nanoseconds")
             self._check_private_mutation(t)
             self._check_series_rebind(t)
+            self._check_oracle_assign(t)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -472,11 +541,13 @@ class _Checker(ast.NodeVisitor):
                         "sim.now is integer nanoseconds")
         self._check_private_mutation(t)
         self._check_series_rebind(t)
+        self._check_oracle_assign(t)
         self.generic_visit(node)
 
     def visit_Delete(self, node: ast.Delete) -> None:
         for t in node.targets:
             self._check_private_mutation(t)
+            self._check_oracle_assign(t)
         self.generic_visit(node)
 
     # -- SIM007: cross-layer private mutation -------------------------------
@@ -531,6 +602,60 @@ class _Checker(ast.NodeVisitor):
             f"direct {expr}{how} bypasses TimeSeries.record() and can "
             f"break the sorted-samples invariant windowed SLO reducers "
             f"rely on; use record()")
+
+    # -- SIM014: chaos oracles are pure observers ---------------------------
+
+    def _oracle_is_scratch(self, name: str) -> bool:
+        return any(name in frame for frame in self._oracle_scratch)
+
+    def _check_oracle_assign(self, target: ast.AST) -> None:
+        if not self._is_oracle_module:
+            return
+        if isinstance(target, ast.Attribute):
+            if _is_self(target.value):
+                return
+            # friend: the module's own dataclass fields (cf. SIM011)
+            if target.attr in self.ctx.own_attrs:
+                return
+            expr = _dotted_target(target) or f"?.{target.attr}"
+            self.report(
+                "SIM014", target,
+                f"oracle assigns {expr}: oracles must not mutate the "
+                f"run they are judging — move state changes into the "
+                f"executor")
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name) and \
+                    self._oracle_is_scratch(base.id):
+                return
+            expr = _dotted_target(base) or "<expr>"
+            self.report(
+                "SIM014", target,
+                f"oracle writes into {expr}[...]: only locally built "
+                f"scratch containers may be mutated inside an oracle")
+
+    def _check_oracle_mutation_call(self, node: ast.Call) -> None:
+        if not self._is_oracle_module:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in ORACLE_MUTATORS):
+            return
+        recv = func.value
+        if _is_self(recv):
+            return
+        # self.items.append(...): the class's own state, not the run's
+        if isinstance(recv, ast.Attribute) and _is_self(recv.value):
+            return
+        if isinstance(recv, ast.Name) and \
+                self._oracle_is_scratch(recv.id):
+            return
+        expr = _dotted_target(recv) or "<expr>"
+        self.report(
+            "SIM014", node,
+            f"oracle calls {expr}.{func.attr}(): mutating methods on "
+            f"simulation state are off limits inside oracles — read "
+            f"attributes and return Violations instead")
 
     def _check_gauge_name(self, node: ast.Call) -> None:
         func = node.func

@@ -209,6 +209,23 @@ RULES: Tuple[Rule, ...] = (
         ),
         tags=("determinism", "layering"),
     ),
+    Rule(
+        id="SIM014",
+        name="oracle-mutates-state",
+        severity=ERROR,
+        summary="chaos oracle mutates simulation state",
+        rationale=(
+            "the invariant oracles in repro/chaos/oracles.py must be "
+            "pure observers: a replayed scenario is only byte "
+            "identical if judging it changes nothing.  An oracle that "
+            "assigns to a machine attribute, or calls a mutating "
+            "method (succeed/submit/record/...), perturbs the very "
+            "run it is auditing and poisons shrinker verdicts.  Move "
+            "state changes into the executor; oracles read and "
+            "return Violations."
+        ),
+        tags=("determinism", "layering", "chaos"),
+    ),
 )
 
 _BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}

@@ -135,11 +135,26 @@ class IOUringFile:
     def size(self) -> int:
         return self.inode.size
 
-    def _lba(self, offset: int) -> int:
-        mapping = self.kernel.fs.bmap(self.inode, offset // PAGE)
-        if mapping is None:
-            raise FsError(f"io_uring op into hole at {offset}")
-        return mapping[0] * (PAGE // SECTOR) + (offset % PAGE) // SECTOR
+    def _sqe_runs(self, offset: int, nbytes: int):
+        """(lba512, run_bytes) per contiguous physical run of the range.
+
+        One SQE must not cross an extent-run boundary: the physical
+        blocks past the run belong to *some other* extent (possibly
+        another file), so a single contiguous device command would
+        read — or worse, overwrite — a neighbour's data.  This mirrors
+        the kernel path's per-run splitting in ``sys_pread``.  Raises
+        :class:`FsError` on holes, like bmap did.
+        """
+        runs = []
+        pos, remaining = offset, nbytes
+        for phys, count in self.kernel.fs.map_range(self.inode, offset,
+                                                    nbytes):
+            lba512 = phys * (PAGE // SECTOR) + (pos % PAGE) // SECTOR
+            run_bytes = min(remaining, count * PAGE - pos % PAGE)
+            runs.append((lba512, run_bytes))
+            pos += run_bytes
+            remaining -= run_bytes
+        return runs
 
     def pread(self, thread: Thread, offset: int,
               nbytes: int) -> Generator:
@@ -149,16 +164,21 @@ class IOUringFile:
             return 0, b""
         aligned = -(-n // SECTOR) * SECTOR
         ring, cq = self.engine.ring_for(thread)
-        yield from thread.compute(params.io_uring_sqe_prep_ns)
-        ring.submit(Opcode.READ, self._lba(offset), aligned, None, cq)
-        # The app busy-polls the CQ (leased so oversubscription cannot
-        # wedge the machine): together with the SQ poller this is the
-        # "two cores per thread" cost of Figure 9.
-        completion = yield from thread.poll_leased(cq.get())
-        if not completion.ok:
-            raise CQEError(completion)
-        data = completion.data
-        return n, (data[:n] if data is not None else None)
+        chunks = []
+        for lba512, run_bytes in self._sqe_runs(offset, aligned):
+            yield from thread.compute(params.io_uring_sqe_prep_ns)
+            ring.submit(Opcode.READ, lba512, run_bytes, None, cq)
+            # The app busy-polls the CQ (leased so oversubscription
+            # cannot wedge the machine): together with the SQ poller
+            # this is the "two cores per thread" cost of Figure 9.
+            completion = yield from thread.poll_leased(cq.get())
+            if not completion.ok:
+                raise CQEError(completion)
+            chunks.append(completion.data)
+        if any(c is None for c in chunks):
+            return n, None
+        data = b"".join(chunks)
+        return n, data[:n]
 
     def pwrite(self, thread: Thread, offset: int, nbytes: int,
                data: Optional[bytes] = None) -> Generator:
@@ -171,11 +191,16 @@ class IOUringFile:
         aligned = -(-nbytes // SECTOR) * SECTOR
         payload = None if data is None else data + bytes(aligned - nbytes)
         ring, cq = self.engine.ring_for(thread)
-        yield from thread.compute(params.io_uring_sqe_prep_ns)
-        ring.submit(Opcode.WRITE, self._lba(offset), aligned, payload, cq)
-        completion = yield from thread.poll_leased(cq.get())
-        if not completion.ok:
-            raise CQEError(completion)
+        written = 0
+        for lba512, run_bytes in self._sqe_runs(offset, aligned):
+            chunk = None if payload is None \
+                else payload[written:written + run_bytes]
+            yield from thread.compute(params.io_uring_sqe_prep_ns)
+            ring.submit(Opcode.WRITE, lba512, run_bytes, chunk, cq)
+            completion = yield from thread.poll_leased(cq.get())
+            if not completion.ok:
+                raise CQEError(completion)
+            written += run_bytes
         return nbytes
 
     def append(self, thread: Thread, nbytes: int,

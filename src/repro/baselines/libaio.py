@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
-from ..fs.ext4.filesystem import FsError
 from ..kernel.process import O_CREAT, O_DIRECT, O_RDONLY, O_RDWR, Process
 from ..kernel.syscalls import Kernel
 from ..nvme.spec import Opcode
@@ -38,6 +37,47 @@ class AioOp:
     offset: int
     nbytes: int
     data: Optional[bytes] = None
+
+
+class _SplitCompletion:
+    """The io_event for an iocb the block layer split into several
+    device commands (one per extent run): ``res`` reflects the first
+    failed part, ``data`` is the parts' payloads reassembled."""
+
+    def __init__(self, parts: List):
+        self.parts = parts
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.parts)
+
+    @property
+    def status(self):
+        for p in self.parts:
+            if not p.ok:
+                return p.status
+        return self.parts[0].status
+
+    @property
+    def fault_reason(self) -> str:
+        for p in self.parts:
+            if not p.ok:
+                return p.fault_reason
+        return ""
+
+    @property
+    def errno(self) -> int:
+        for p in self.parts:
+            if p.errno:
+                return p.errno
+        return 0
+
+    @property
+    def data(self) -> Optional[bytes]:
+        chunks = [p.data for p in self.parts]
+        if any(c is None for c in chunks):
+            return None
+        return b"".join(chunks)
 
 
 class AIOContext:
@@ -78,13 +118,33 @@ class AIOContext:
                     thread, inode, op.offset, op.nbytes)
                 if op.offset + op.nbytes > inode.size:
                     self.kernel.fs.set_size(inode, op.offset + op.nbytes)
-            mapping = self.kernel.fs.bmap(inode, op.offset // PAGE)
-            if mapping is None:
-                raise FsError(f"libaio op into hole at {op.offset}")
-            lba512 = mapping[0] * (PAGE // SECTOR) \
-                + (op.offset % PAGE) // SECTOR
-            ev = yield from self.kernel.blockio.submit_async(
-                thread, op.opcode, lba512, op.nbytes, data=op.data)
+            # One iocb may span several extent runs; like the kernel
+            # bio layer, split at run boundaries (a contiguous device
+            # command past the run would clobber a neighbour's blocks)
+            # but still post a single io_event for the iocb.
+            parts: List[Event] = []
+            pos, written = op.offset, 0
+            for phys, count in self.kernel.fs.map_range(
+                    inode, op.offset, op.nbytes):
+                lba512 = phys * (PAGE // SECTOR) \
+                    + (pos % PAGE) // SECTOR
+                run_bytes = min(op.nbytes - written,
+                                count * PAGE - pos % PAGE)
+                chunk = None if op.data is None \
+                    else op.data[written:written + run_bytes]
+                part = yield from self.kernel.blockio.submit_async(
+                    thread, op.opcode, lba512, run_bytes, data=chunk)
+                parts.append(part)
+                pos += run_bytes
+                written += run_bytes
+            if len(parts) == 1:
+                ev = parts[0]
+            else:
+                ev = self.sim.event()
+                gate = self.sim.all_of(parts)
+                gate.add_callback(
+                    lambda _e, parts=parts, ev=ev: ev.succeed(
+                        _SplitCompletion([p.value for p in parts])))
             if lock is not None:
                 ev.add_callback(lambda _e, lock=lock: lock.release())
             self._inflight.append(ev)

@@ -54,6 +54,7 @@ from ..faults import (
     FaultInjector,
     FaultKind,
     FaultPlan,
+    canary,
     set_default_injector,
 )
 from ..obs.monitor import (
@@ -77,6 +78,7 @@ __all__ = [
     "RunReport",
     "job_fingerprint",
     "job_seed",
+    "fan_out",
     "normalize_faults_spec",
     "registry_names",
     "reset_ambient_state",
@@ -319,6 +321,7 @@ def reset_ambient_state() -> None:
     set_default_injector(None)
     set_default_monitor(None)
     machine_mod.capture_machines(None)
+    canary.disarm_all()
 
 
 def telemetry_section(name: str, monitors: Sequence) -> str:
@@ -524,6 +527,27 @@ def resolve_jobs(jobs: Any) -> int:
     if n < 1:
         raise ValueError(f"--jobs must be >= 1 or 'auto', got {jobs!r}")
     return n
+
+
+def fan_out(worker: Callable[[Any], Any], payloads: Sequence[Any],
+            jobs: Any = 1,
+            start_method: Optional[str] = None) -> List[Any]:
+    """Map ``worker`` over ``payloads``, optionally across a pool.
+
+    The generic fan-out primitive other orchestration-adjacent callers
+    (``repro.chaos`` fuzz batches) use so that process pools stay
+    confined to this module (simlint SIM013).  Results come back in
+    payload order regardless of worker scheduling, so a parallel batch
+    is indistinguishable from a serial one.  ``worker`` must be a
+    picklable module-level function that resets its own ambient state
+    (see :func:`reset_ambient_state`); payloads must be picklable too.
+    """
+    n = min(resolve_jobs(jobs), max(1, len(payloads)))
+    if n == 1:
+        return [worker(p) for p in payloads]
+    ctx = get_context(start_method)
+    with ProcessPoolExecutor(max_workers=n, mp_context=ctx) as pool:
+        return list(pool.map(worker, payloads))
 
 
 def run_experiments(names: Sequence[str], *,

@@ -1,0 +1,44 @@
+"""``repro.chaos``: deterministic chaos engine for the whole stack.
+
+Seeded scenario fuzzing, cross-layer invariant oracles, and
+auto-shrinking reproducers — the subsystem that *hunts* for the bugs
+the rest of the test suite only guards against.  Four parts:
+
+- :mod:`repro.chaos.scenario` — a size-bounded grammar of chaos cases
+  (tenants x engines x op traces x fault plans x crash points), sampled
+  deterministically from a seed;
+- :mod:`repro.chaos.executor` — runs one scenario on a fresh
+  :class:`~repro.machine.Machine` and judges it against the oracle
+  suite in :mod:`repro.chaos.oracles` (queue conservation, retry
+  bounds, stats monotonicity, SLO consistency, post-crash
+  durability, tenant isolation, sanitizer cleanliness);
+- :mod:`repro.chaos.shrinker` — delta-debugs a failing scenario down
+  to a minimal reproducer that replays byte-identically;
+- :mod:`repro.chaos.corpus` — persists shrunk reproducers under
+  ``tests/chaos/corpus/`` where the tier-1 suite replays them forever.
+
+CLI: ``python -m repro.chaos fuzz|shrink|replay|corpus`` (see
+``--help``); the nightly CI job runs a seeded batch via the parallel
+runner and uploads failing reproducers as artifacts.
+
+Fault *canaries* (:mod:`repro.faults.canary`) close the loop: arming
+``retry-off-by-one`` plants a known off-by-one in the kernel retry
+bound, and the pipeline must find it, shrink it, and replay it — the
+chaos engine's own end-to-end acceptance test.
+"""
+
+from .executor import ScenarioResult, run_scenario
+from .oracles import Violation
+from .scenario import Scenario, generate, scenario_seed
+from .shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "ShrinkResult",
+    "Violation",
+    "generate",
+    "run_scenario",
+    "scenario_seed",
+    "shrink",
+]

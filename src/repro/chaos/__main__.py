@@ -1,0 +1,193 @@
+"""CLI for the chaos engine.
+
+Examples::
+
+    # Nightly batch: 200 seeded scenarios, all cores, shrink failures
+    python -m repro.chaos fuzz --seed 1234 --count 200 --jobs auto \\
+        --shrink --out /tmp/chaos-failures
+
+    # Prove the pipeline catches the planted canary bug
+    python -m repro.chaos fuzz --seed 1234 --count 200 \\
+        --canary retry-off-by-one
+
+    # Reduce one failing scenario to its essence
+    python -m repro.chaos shrink failing.json --canary retry-off-by-one
+
+    # Replay scenario files, or the committed reproducer corpus
+    python -m repro.chaos replay shrunk.json
+    python -m repro.chaos replay --corpus
+
+    # What reproducers are on file?
+    python -m repro.chaos corpus
+
+Exit status is 1 when violations (or corpus mismatches) were found,
+0 on a clean run — so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from ..bench.runner import fan_out
+from ..faults.canary import KNOWN_CANARIES
+from .corpus import default_corpus_dir, load_entries, save_entry, \
+    verify_entry
+from .executor import run_payload, run_scenario
+from .scenario import Scenario, generate, scenario_seed
+from .shrinker import shrink
+
+
+def _add_canary_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--canary", action="append", default=[],
+                        choices=sorted(KNOWN_CANARIES),
+                        help="arm a fault canary for every run "
+                             "(repeatable); the pipeline must catch it")
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    canaries = tuple(args.canary)
+    scenarios = [generate(scenario_seed(args.seed, i))
+                 for i in range(args.count)]
+    payloads = [(s.to_json(), canaries) for s in scenarios]
+    results = fan_out(run_payload, payloads, jobs=args.jobs)
+    failing: List[int] = [i for i, r in enumerate(results)
+                          if r["violations"]]
+    print(f"fuzz: seed={args.seed} count={args.count} "
+          f"failing={len(failing)}")
+    for i in failing:
+        kinds = sorted({v["oracle"] for v in results[i]["violations"]})
+        print(f"  [{i}] seed={scenarios[i].seed} kinds={kinds}")
+        for v in results[i]["violations"][:3]:
+            print(f"      {v['oracle']}: {v['detail']}")
+    if failing and args.shrink:
+        out = Path(args.out) if args.out else default_corpus_dir()
+        for i in failing:
+            reduced = shrink(scenarios[i], canaries=canaries)
+            name = f"fuzz-{args.seed}-{i}"
+            path = save_entry(
+                out, name, reduced.scenario,
+                expect=reduced.oracle_kinds,
+                requires_canary=canaries,
+                notes=f"shrunk from batch seed={args.seed} "
+                      f"index={i} in {reduced.runs} runs")
+            print(f"  shrunk [{i}] -> {path} "
+                  f"({', '.join(reduced.steps) or 'already minimal'})")
+    return 1 if failing else 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    scenario = Scenario.from_json(Path(args.scenario).read_text())
+    reduced = shrink(scenario, canaries=tuple(args.canary))
+    print(f"shrunk in {reduced.runs} runs: "
+          f"{'; '.join(reduced.steps) or 'already minimal'}",
+          file=sys.stderr)
+    text = json.dumps(reduced.scenario.to_dict(), indent=1,
+                      sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    bad = 0
+    if args.corpus or not args.files:
+        entries = load_entries()
+        if not entries:
+            print("corpus is empty")
+        for entry in entries:
+            problems = verify_entry(entry)
+            status = "FAIL" if problems else "ok"
+            print(f"{status}  {entry['name']} "
+                  f"(expect {entry['expect']})")
+            for p in problems:
+                print(f"      {p}")
+            bad += len(problems)
+    for name in args.files:
+        doc = json.loads(Path(name).read_text())
+        if "scenario" in doc:
+            # A corpus-entry file (e.g. written by fuzz --shrink):
+            # judge it against its own expectations.
+            problems = verify_entry(doc)
+            status = "FAIL" if problems else "ok"
+            print(f"{status}  {name} (expect {doc['expect']})")
+            for p in problems:
+                print(f"      {p}")
+            bad += len(problems)
+            continue
+        scenario = Scenario.from_dict(doc)
+        result = run_scenario(scenario, canaries=tuple(args.canary))
+        status = "FAIL" if result.violations else "ok"
+        print(f"{status}  {name} crashed={result.crashed} "
+              f"end_ns={result.end_ns}")
+        for v in result.violations:
+            print(f"      {v.oracle}: {v.detail}")
+        bad += len(result.violations)
+    return 1 if bad else 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    entries = load_entries(Path(args.dir) if args.dir else None)
+    if not entries:
+        print("corpus is empty")
+        return 0
+    for entry in entries:
+        canary_note = (f" canary={entry['requires_canary']}"
+                       if entry.get("requires_canary") else "")
+        print(f"{entry['name']}: expect={entry['expect']}"
+              f"{canary_note}")
+        if entry.get("notes"):
+            print(f"    {entry['notes']}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Deterministic chaos engine: fuzz, shrink, replay.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fuzz = sub.add_parser("fuzz", help="run a seeded scenario batch")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--count", type=int, default=200)
+    p_fuzz.add_argument("--jobs", default=1,
+                        help="worker processes, or 'auto'")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="shrink failures and save reproducers")
+    p_fuzz.add_argument("--out", default=None,
+                        help="directory for shrunk reproducers "
+                             "(default: the committed corpus)")
+    _add_canary_arg(p_fuzz)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_shrink = sub.add_parser("shrink",
+                              help="minimise one failing scenario")
+    p_shrink.add_argument("scenario", help="scenario JSON file")
+    p_shrink.add_argument("--out", default=None)
+    _add_canary_arg(p_shrink)
+    p_shrink.set_defaults(func=_cmd_shrink)
+
+    p_replay = sub.add_parser("replay",
+                              help="re-run scenario files or corpus")
+    p_replay.add_argument("files", nargs="*")
+    p_replay.add_argument("--corpus", action="store_true",
+                          help="replay the committed corpus")
+    _add_canary_arg(p_replay)
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_corpus = sub.add_parser("corpus", help="list corpus entries")
+    p_corpus.add_argument("--dir", default=None)
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

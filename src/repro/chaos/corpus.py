@@ -1,0 +1,108 @@
+"""Reproducer corpus: shrunk failing scenarios kept as regression tests.
+
+When the fuzzer finds a violation, the shrunk scenario is persisted
+here as a small JSON file; the tier-1 suite replays every entry on
+each run, so a bug the chaos engine caught once can never silently
+return.  Entries are plain data (schema below) — no pickles, no code:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "name": "retry-off-by-one-canary",
+      "scenario": { ... Scenario.to_dict() ... },
+      "expect": ["retry-bounds"],
+      "requires_canary": ["retry-off-by-one"],
+      "notes": "why this entry exists"
+    }
+
+``expect`` is the set of oracle kinds the replay must reproduce.
+``requires_canary`` lists canaries to arm for the replay — such
+entries double as *pipeline self-tests*: they must fail with the
+canary armed AND pass with it off (proving the oracles alarm on the
+planted bug and only on it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .executor import run_scenario
+from .scenario import Scenario
+
+__all__ = ["default_corpus_dir", "save_entry", "load_entries",
+           "verify_entry"]
+
+SCHEMA = 1
+
+
+def default_corpus_dir() -> Path:
+    """``tests/chaos/corpus`` relative to the repo root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "chaos" \
+        / "corpus"
+
+
+def save_entry(directory: Path, name: str, scenario: Scenario,
+               expect: Sequence[str],
+               requires_canary: Sequence[str] = (),
+               notes: str = "") -> Path:
+    """Persist one reproducer; returns the written path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "schema": SCHEMA,
+        "name": name,
+        "scenario": scenario.to_dict(),
+        "expect": sorted(expect),
+        "requires_canary": sorted(requires_canary),
+        "notes": notes,
+    }
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_entries(directory: Optional[Path] = None) -> List[Dict]:
+    """All corpus entries, sorted by name (deterministic replay order)."""
+    directory = Path(directory) if directory is not None \
+        else default_corpus_dir()
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        entry = json.loads(path.read_text())
+        if entry.get("schema") != SCHEMA:
+            raise ValueError(f"{path}: unknown corpus schema "
+                             f"{entry.get('schema')}")
+        entry["path"] = str(path)
+        entries.append(entry)
+    return entries
+
+
+def verify_entry(entry: Dict) -> List[str]:
+    """Replay one entry; returns human-readable problems (empty = ok).
+
+    The entry must reproduce every expected oracle kind under its
+    declared canaries, and — when canaries are required — run clean
+    without them (the planted bug, not the scenario, is the cause).
+    """
+    problems: List[str] = []
+    scenario = Scenario.from_dict(entry["scenario"])
+    canaries = tuple(entry.get("requires_canary", ()))
+    result = run_scenario(scenario, canaries=canaries)
+    got = set(result.oracle_kinds())
+    for kind in entry["expect"]:
+        if kind not in got:
+            problems.append(
+                f"{entry['name']}: expected {kind!r} violation not "
+                f"reproduced (got {sorted(got) or 'none'})")
+    if canaries:
+        clean = run_scenario(scenario)
+        if clean.violations:
+            problems.append(
+                f"{entry['name']}: scenario violates oracles even "
+                f"without {list(canaries)} armed: "
+                f"{clean.oracle_kinds()}")
+    return problems

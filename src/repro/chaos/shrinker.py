@@ -1,0 +1,194 @@
+"""Delta-debugging shrinker: reduce a failing scenario to its essence.
+
+Given a scenario that violates some oracle, :func:`shrink` greedily
+removes structure while the violation persists, in fixed pass order:
+
+1. drop whole tenants;
+2. drop whole fault rules;
+3. ddmin over each tenant's op trace (chunked removal, halving chunk
+   size — classic Zeller delta debugging);
+4. minimise scalar fields (fault counts, op sizes, think time).
+
+Every candidate is judged by re-executing it under its own seed — the
+executor is deterministic, so "still fails the same way" is a pure
+function of the candidate scenario.  The predicate is *oracle-kind*
+equality on the kinds that made the original fail (a shrink that trades
+a retry-bounds violation for an unrelated crash bug would be a
+different reproducer, not a smaller one).
+
+The run budget is bounded (:data:`DEFAULT_BUDGET` executions); the
+shrinker returns the smallest failing scenario found when the budget
+runs out.  The result replays byte-identically: same seed, same
+canonical JSON, same violations, forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .executor import run_scenario
+from .scenario import BLOCK, FaultSpec, OpSpec, Scenario
+
+__all__ = ["ShrinkResult", "shrink"]
+
+DEFAULT_BUDGET = 200
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal reproducer plus how we got there."""
+
+    scenario: Scenario
+    oracle_kinds: Tuple[str, ...]
+    runs: int
+    steps: List[str]
+
+
+def _size(s: Scenario) -> int:
+    """Rough structural size: what the shrinker is minimising."""
+    return (len(s.tenants) + len(s.faults)
+            + sum(len(t.ops) for t in s.tenants))
+
+
+def shrink(scenario: Scenario, canaries: Sequence[str] = (),
+           budget: int = DEFAULT_BUDGET) -> ShrinkResult:
+    """Reduce ``scenario`` to a minimal case failing the same oracles."""
+    baseline = run_scenario(scenario, canaries=canaries)
+    target = tuple(baseline.oracle_kinds())
+    if not target:
+        raise ValueError("scenario does not violate any oracle; "
+                         "nothing to shrink")
+    state = {"runs": 1, "steps": []}
+
+    def still_fails(candidate: Scenario) -> bool:
+        if state["runs"] >= budget:
+            return False
+        state["runs"] += 1
+        result = run_scenario(candidate, canaries=canaries)
+        kinds = set(result.oracle_kinds())
+        return all(k in kinds for k in target)
+
+    current = scenario
+    for name, one_pass in (("drop-tenants", _pass_drop_tenants),
+                           ("drop-faults", _pass_drop_faults),
+                           ("ddmin-ops", _pass_ddmin_ops),
+                           ("minimise-fields", _pass_fields)):
+        before = _size(current)
+        current = one_pass(current, still_fails)
+        after = _size(current)
+        if after < before:
+            state["steps"].append(f"{name}: {before} -> {after}")
+    return ShrinkResult(scenario=current, oracle_kinds=target,
+                       runs=state["runs"], steps=state["steps"])
+
+
+# -- passes ------------------------------------------------------------------
+
+Predicate = Callable[[Scenario], bool]
+
+
+def _pass_drop_tenants(s: Scenario, still_fails: Predicate) -> Scenario:
+    i = 0
+    while len(s.tenants) > 1 and i < len(s.tenants):
+        tenants = s.tenants[:i] + s.tenants[i + 1:]
+        candidate = replace(s, tenants=tenants)
+        if still_fails(candidate):
+            s = candidate
+        else:
+            i += 1
+    return s
+
+
+def _pass_drop_faults(s: Scenario, still_fails: Predicate) -> Scenario:
+    i = 0
+    while i < len(s.faults):
+        candidate = replace(s, faults=s.faults[:i] + s.faults[i + 1:])
+        if still_fails(candidate):
+            s = candidate
+        else:
+            i += 1
+    if s.crash_at_ns is not None:
+        candidate = replace(s, crash_at_ns=None)
+        if still_fails(candidate):
+            s = candidate
+    return s
+
+
+def _with_ops(s: Scenario, tenant_idx: int,
+              ops: Tuple[OpSpec, ...]) -> Scenario:
+    tenants = list(s.tenants)
+    tenants[tenant_idx] = replace(tenants[tenant_idx], ops=ops)
+    return replace(s, tenants=tuple(tenants))
+
+
+def _pass_ddmin_ops(s: Scenario, still_fails: Predicate) -> Scenario:
+    for idx in range(len(s.tenants)):
+        ops = list(s.tenants[idx].ops)
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1 and len(ops) > 1:
+            start, removed_any = 0, False
+            while start < len(ops) and len(ops) > 1:
+                trial = ops[:start] + ops[start + chunk:]
+                if trial and still_fails(_with_ops(s, idx,
+                                                   tuple(trial))):
+                    ops = trial
+                    removed_any = True
+                else:
+                    start += chunk
+            if chunk == 1 and not removed_any:
+                break
+            chunk = max(1, chunk // 2) if chunk > 1 else 0
+        s = _with_ops(s, idx, tuple(ops))
+    return s
+
+
+def _pass_fields(s: Scenario, still_fails: Predicate) -> Scenario:
+    # Fault scalars: pull counts/nth down, spikes to their floor.
+    for i, spec in enumerate(s.faults):
+        for attempt in (_fault_with(spec, count=1),
+                        _fault_with(spec, nth=1),
+                        _fault_with(spec, extra_ns=100_000)):
+            if attempt is None:
+                continue
+            faults = s.faults[:i] + (attempt,) + s.faults[i + 1:]
+            candidate = replace(s, faults=faults)
+            if still_fails(candidate):
+                s = candidate
+    # Tenant scalars: one-block ops, no think time.
+    for idx, tenant in enumerate(s.tenants):
+        if tenant.think_ns:
+            tenants = list(s.tenants)
+            tenants[idx] = replace(tenant, think_ns=0)
+            candidate = replace(s, tenants=tuple(tenants))
+            if still_fails(candidate):
+                s = candidate
+        ops = list(s.tenants[idx].ops)
+        changed = False
+        for j, op in enumerate(ops):
+            if op.kind != "fsync" and op.nbytes > BLOCK:
+                trial = list(ops)
+                trial[j] = OpSpec(op.kind, op.offset, BLOCK)
+                candidate = _with_ops(s, idx, tuple(trial))
+                if still_fails(candidate):
+                    ops = trial
+                    changed = True
+        if changed:
+            s = _with_ops(s, idx, tuple(ops))
+    return s
+
+
+def _fault_with(spec: FaultSpec, **kw) -> Optional[FaultSpec]:
+    """A reduced copy, or None if it's not actually a reduction (or
+    would not validate, e.g. nth=1 on a probability rule)."""
+    try:
+        candidate = replace(spec, **kw)
+    except (ValueError, TypeError):
+        return None
+    if candidate == spec:
+        return None
+    for field_name in kw:
+        old = getattr(spec, field_name)
+        if old is None:
+            return None
+    return candidate

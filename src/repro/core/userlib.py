@@ -110,6 +110,11 @@ class UserLib:
         self.io_errors = 0
         self.io_timeouts = 0
         self.io_aborts = 0
+        # High-water marks the chaos retry-bounds oracle reads: the
+        # deepest error-retry count any command reached and the largest
+        # backoff slept (mirrors repro.kernel.blockio).
+        self.max_error_retries = 0
+        self.max_backoff_ns = 0
 
     # -- setup ------------------------------------------------------------
 
@@ -480,8 +485,11 @@ class UserLib:
                     self.io_errors += 1
                     raise IOError_(completion)
                 self.io_retries += 1
-                yield from thread.sleep(
-                    self.params.retry_backoff_ns(error_retries))
+                self.max_error_retries = max(self.max_error_retries,
+                                             error_retries)
+                backoff = self.params.retry_backoff_ns(error_retries)
+                self.max_backoff_ns = max(self.max_backoff_ns, backoff)
+                yield from thread.sleep(backoff)
                 continue
             self.io_errors += 1
             raise IOError_(completion)

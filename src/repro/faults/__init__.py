@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from . import canary
 from .injector import NO_FAULTS, FaultInjector, PowerFailure
 from .plan import FaultKind, FaultPlan, FaultRule
 
@@ -33,6 +34,7 @@ __all__ = [
     "FaultInjector",
     "PowerFailure",
     "NO_FAULTS",
+    "canary",
     "set_default_injector",
     "default_injector",
 ]

@@ -32,9 +32,11 @@ class PowerFailure(Exception):
     to replay the journal and fsck the recovered filesystem.
     """
 
-    def __init__(self, at_ns: int):
-        super().__init__(f"power failure at t={at_ns}ns")
+    def __init__(self, at_ns: int, during: str = "run"):
+        detail = "" if during == "run" else f" (during {during})"
+        super().__init__(f"power failure at t={at_ns}ns{detail}")
         self.at_ns = at_ns
+        self.during = during
 
 
 class _RuleState:
@@ -56,6 +58,23 @@ class FaultInjector:
         self.counts: Dict[str, int] = {}
         self._states: List[_RuleState] = [_RuleState()
                                           for _ in self.plan.rules]
+
+    def _check_plan(self) -> None:
+        """Fail loudly if the plan was mutated after adoption.
+
+        Per-rule trigger state is allocated at construction; a rule
+        appended afterwards would silently never fire (``zip``
+        truncates) while still flipping queries like ``may_drop`` —
+        the exact mismatch that leaves driver timeouts unarmed against
+        a plan that can drop completions.  Mutating an adopted plan is
+        a bug; surface it at the first query instead of hanging later.
+        """
+        if len(self.plan.rules) != len(self._states):
+            raise RuntimeError(
+                f"fault plan mutated after the injector adopted it "
+                f"({len(self.plan.rules)} rules, trigger state for "
+                f"{len(self._states)}); build the full plan before "
+                f"constructing the FaultInjector/Machine")
 
     # -- classification -------------------------------------------------------
 
@@ -111,6 +130,7 @@ class FaultInjector:
 
     def translation_fault(self, now: int) -> bool:
         """Should this VBA command see a spurious translation fault?"""
+        self._check_plan()
         for rule, state in self._matching((FaultKind.TRANSLATION_FAULT,)):
             if self._fires(rule, state, now, None):
                 return True
@@ -125,6 +145,7 @@ class FaultInjector:
         (later terminal rules are not even consulted, so their trigger
         counters only see commands that survived to their turn).
         """
+        self._check_plan()
         spike_ns = 0
         terminal: Optional[FaultKind] = None
         media_kind = (FaultKind.MEDIA_WRITE_ERROR if is_write

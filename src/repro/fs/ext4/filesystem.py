@@ -344,9 +344,18 @@ class Ext4Filesystem:
 
     @classmethod
     def recover(cls, records: List, capacity_bytes: int, devid: int,
-                params: HardwareParams) -> "Ext4Filesystem":
-        """Rebuild a filesystem by replaying a journal image."""
+                params: HardwareParams,
+                crash_after_records: Optional[int] = None
+                ) -> "Ext4Filesystem":
+        """Rebuild a filesystem by replaying a journal image.
+
+        The replay targets a *fresh* mkfs image, so an interruption
+        (``crash_after_records``, a second power failure mid recovery)
+        discards only the half-built instance — the journal image stays
+        intact and recovery can be retried from scratch.
+        """
         fs = cls.mkfs(capacity_bytes, devid, params)
-        max_ino = replay_into(fs, records)
+        max_ino = replay_into(fs, records,
+                              crash_after_records=crash_after_records)
         fs._ino = itertools.count(max_ino + 1)
         return fs

@@ -120,7 +120,8 @@ class Journal:
         return len(self._committed)
 
 
-def replay_into(fs, records: List[JournalRecord]) -> int:
+def replay_into(fs, records: List[JournalRecord],
+                crash_after_records: Optional[int] = None) -> int:
     """Replay a journal image into a freshly made filesystem.
 
     This is jbd2's recovery pass: records are applied strictly in log
@@ -128,9 +129,23 @@ def replay_into(fs, records: List[JournalRecord]) -> int:
     reconstructs exactly the namespace/extent/allocator state that was
     durable at the crash.  Returns the highest inode number seen so the
     filesystem can restart its inode counter above it.
+
+    ``crash_after_records`` simulates the power failing *again* mid
+    replay: after applying that many records the replay raises
+    :class:`~repro.faults.PowerFailure`.  Only ``fs`` — the fresh,
+    about-to-be-discarded filesystem — has been touched at that point;
+    the journal image itself is read-only here, so recovery can simply
+    be attempted again (crash-during-recovery is recoverable, exactly
+    like a second jbd2 replay after an interrupted one).
     """
     max_ino = 1
-    for op, args in records:
+    for applied, (op, args) in enumerate(records):
+        if crash_after_records is not None \
+                and applied >= crash_after_records:
+            from ...faults import PowerFailure
+            raise PowerFailure(
+                0, during=f"journal replay (record {applied} "
+                          f"of {len(records)})")
         if op == "create":
             ftype = (FileType.DIRECTORY if args["ftype"] == "directory"
                      else FileType.REGULAR)

@@ -145,11 +145,22 @@ class HardwareParams:
         )
 
     def retry_backoff_ns(self, attempt: int) -> int:
-        """Bounded exponential backoff before retry ``attempt`` (1-based)."""
+        """Bounded exponential backoff before retry ``attempt`` (1-based).
+
+        Monotone non-decreasing in ``attempt`` and capped at
+        ``io_retry_backoff_max_ns``.  The shift saturates before it is
+        evaluated, so a pathological attempt count (a retry loop gone
+        wrong, a fuzzer-supplied huge value) cannot materialise a
+        million-bit integer on its way to the cap.
+        """
         if attempt < 1:
             raise ValueError(f"retry attempts are 1-based, got {attempt}")
-        return min(self.io_retry_backoff_ns << (attempt - 1),
-                   self.io_retry_backoff_max_ns)
+        base = self.io_retry_backoff_ns
+        cap = self.io_retry_backoff_max_ns
+        shift = attempt - 1
+        if base > 0 and shift >= cap.bit_length():
+            return cap  # base << shift would already exceed the cap
+        return min(base << shift, cap)
 
     def full_pagewalk_ns(self) -> int:
         """IOTLB miss with hot upper levels: ~3 memory references."""

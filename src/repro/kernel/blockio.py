@@ -28,6 +28,7 @@ from __future__ import annotations
 import errno as _errno
 from typing import Dict, Generator, Optional
 
+from ..faults import canary
 from ..hw.params import HardwareParams
 from ..nvme.device import NVMeDevice
 from ..nvme.queues import QueuePair
@@ -70,6 +71,12 @@ class BlockIOLayer:
         self.aborts = 0
         self.retries = 0
         self.io_errors = 0
+        # High-water marks the chaos retry-bounds oracle reads: the
+        # deepest attempt any single command reached and the largest
+        # backoff ever slept.  Plain attributes, not Stats fields, so
+        # golden telemetry dumps are untouched.
+        self.max_attempts = 0
+        self.max_backoff_ns = 0
         from ..sim.trace import NULL_TRACER
         self.tracer = NULL_TRACER
 
@@ -148,12 +155,16 @@ class BlockIOLayer:
             if completion.ok:
                 return completion.data
             if not completion.status.retryable \
-                    or attempt >= self.params.io_retry_limit:
+                    or attempt >= self.params.io_retry_limit \
+                    + canary.extra_retries():
                 self.io_errors += 1
                 raise IOError_(completion)
             attempt += 1
             self.retries += 1
-            yield from thread.sleep(self.params.retry_backoff_ns(attempt))
+            self.max_attempts = max(self.max_attempts, attempt)
+            backoff = self.params.retry_backoff_ns(attempt)
+            self.max_backoff_ns = max(self.max_backoff_ns, backoff)
+            yield from thread.sleep(backoff)
 
     # -- thread-accounted path (syscalls) -------------------------------------
 
@@ -256,6 +267,10 @@ class KernelVolume:
         self.aborts = 0
         self.retries = 0
         self.io_errors = 0
+        # High-water marks for the chaos retry-bounds oracle (see
+        # BlockIOLayer); metadata I/O obeys the same retry budget.
+        self.max_attempts = 0
+        self.max_backoff_ns = 0
 
     def _queue(self) -> QueuePair:
         if self._qp is None:
@@ -284,12 +299,16 @@ class KernelVolume:
             if completion.ok:
                 return completion
             if not completion.status.retryable \
-                    or attempt >= self.params.io_retry_limit:
+                    or attempt >= self.params.io_retry_limit \
+                    + canary.extra_retries():
                 self.io_errors += 1
                 raise IOError_(completion)
             attempt += 1
             self.retries += 1
-            yield self.sim.timeout(self.params.retry_backoff_ns(attempt))
+            self.max_attempts = max(self.max_attempts, attempt)
+            backoff = self.params.retry_backoff_ns(attempt)
+            self.max_backoff_ns = max(self.max_backoff_ns, backoff)
+            yield self.sim.timeout(backoff)
 
     def read_blocks(self, block: int, count: int) -> Generator:
         self.meta_reads += 1

@@ -258,17 +258,25 @@ class Machine:
         """Aggregate fault/recovery counters across every layer."""
         return Stats.from_machine(self)
 
-    def recover_after_crash(self) -> Ext4Filesystem:
+    def recover_after_crash(self,
+                            crash_after_records: Optional[int] = None
+                            ) -> Ext4Filesystem:
         """Journal replay plus fsck after a :class:`PowerFailure`.
 
         Returns the recovered filesystem (a fresh instance — the
         crashed machine's in-memory state is gone, exactly like a
         reboot).  Raises ``AssertionError`` if the replayed metadata is
         inconsistent.
+
+        ``crash_after_records`` injects a *second* power failure that
+        many journal records into the replay (chaos testing): the call
+        raises :class:`~repro.faults.PowerFailure` cleanly, the crash
+        image is untouched, and calling this method again completes the
+        recovery — an interrupted recovery is itself recoverable.
         """
         records = self.fs.crash_image()
-        recovered = Ext4Filesystem.recover(records, self._capacity_bytes,
-                                           devid=self.fs.devid,
-                                           params=self.params)
+        recovered = Ext4Filesystem.recover(
+            records, self._capacity_bytes, devid=self.fs.devid,
+            params=self.params, crash_after_records=crash_after_records)
         recovered.fsck()
         return recovered

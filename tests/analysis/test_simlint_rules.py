@@ -541,3 +541,87 @@ def test_sim013_ok_plain_concurrent_futures_types():
             return Future()
     """)
     assert "SIM013" not in _ids(vs)
+
+
+# -- SIM014: chaos oracles must not mutate simulation state -------------
+
+ORACLES = "src/repro/chaos/oracles.py"
+
+
+def test_sim014_flags_attribute_assignment():
+    vs = _lint("""
+        def check_thing(machine):
+            machine.device.counter = 0
+            return []
+    """, path=ORACLES)
+    assert "SIM014" in _ids(vs)
+
+
+def test_sim014_flags_mutator_call():
+    vs = _lint("""
+        def check_thing(machine):
+            machine.stats.record("reads", 1)
+            return []
+    """, path=ORACLES)
+    assert "SIM014" in _ids(vs)
+
+
+def test_sim014_flags_subscript_write():
+    vs = _lint("""
+        def check_thing(machine):
+            machine._lost[3] = None
+            return []
+    """, path=ORACLES)
+    assert "SIM014" in _ids(vs)
+
+
+def test_sim014_flags_augassign_and_delete():
+    vs = _lint("""
+        def check_thing(qp):
+            qp.reaped += 1
+            del qp.submitted
+            return []
+    """, path=ORACLES)
+    assert _ids(vs).count("SIM014") == 2
+
+
+def test_sim014_ok_scratch_containers():
+    # Locals bound to fresh containers are the oracle's own scratch
+    # space; appending findings to them is the whole point.
+    vs = _lint("""
+        def check_thing(machine):
+            out = []
+            seen = set()
+            by_name = {s.name: s for s in machine.monitor.config.slos}
+            for qp in machine.device.queue_pairs():
+                seen.add(qp.qid)
+                out.append(("completions", qp.qid))
+            counts = dict(by_name)
+            counts["total"] = len(seen)
+            return out
+    """, path=ORACLES)
+    assert "SIM014" not in _ids(vs)
+
+
+def test_sim014_ok_self_and_own_module_attrs():
+    vs = _lint("""
+        class OracleReport:
+            def __init__(self):
+                self.items = []
+
+            def add(self, item):
+                self.items.append(item)
+                self.count = len(self.items)
+    """, path=ORACLES)
+    assert "SIM014" not in _ids(vs)
+
+
+def test_sim014_scoped_to_oracle_module():
+    # The same mutation is fine anywhere else — the executor *should*
+    # drive the machine.
+    vs = _lint("""
+        def run(machine):
+            machine.stats.record("reads", 1)
+            machine.device.counter = 0
+    """, path="src/repro/chaos/executor.py")
+    assert "SIM014" not in _ids(vs)

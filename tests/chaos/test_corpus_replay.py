@@ -1,0 +1,21 @@
+"""Replay every committed reproducer in tests/chaos/corpus/.
+
+Each entry is a shrunk scenario plus its expected oracle verdicts;
+:func:`verify_entry` re-runs it (arming whatever canaries it requires)
+and checks the violations still appear — and that the scenario is
+clean once the canaries are disarmed.  A fixed bug stays fixed."""
+
+from repro.chaos.corpus import default_corpus_dir, load_entries, \
+    verify_entry
+
+
+def test_corpus_is_populated():
+    # An empty corpus would turn this whole module into a silent no-op.
+    assert load_entries(), \
+        f"no reproducers in {default_corpus_dir()}"
+
+
+def test_every_corpus_entry_replays():
+    for entry in load_entries():
+        problems = verify_entry(entry)
+        assert not problems, (entry["name"], problems)

@@ -1,0 +1,53 @@
+"""Delta-debugging shrinker: deterministic, minimising, still failing."""
+
+import pytest
+
+from repro.chaos import generate, run_scenario, scenario_seed, shrink
+
+# Batch seed 1234, index 1 is a known canary habitat: an io_uring
+# tenant with a persistent media-error rule, so the armed
+# retry-off-by-one exceeds the retry budget (see
+# tests/chaos/test_canary_acceptance.py for the full sweep).
+CANARY = ("retry-off-by-one",)
+
+
+def known_failing_scenario():
+    s = generate(scenario_seed(1234, 1))
+    result = run_scenario(s, canaries=CANARY)
+    assert any(v.oracle == "retry-bounds" for v in result.violations), \
+        "fixture rot: scenario 1234/1 no longer trips the canary"
+    return s
+
+
+def test_shrink_reduces_and_still_reproduces():
+    s = known_failing_scenario()
+    reduced = shrink(s, canaries=CANARY)
+    assert "retry-bounds" in reduced.oracle_kinds
+    assert len(reduced.scenario.tenants) <= len(s.tenants)
+    ops = sum(len(t.ops) for t in reduced.scenario.tenants)
+    assert ops <= sum(len(t.ops) for t in s.tenants)
+    # the reproducer must fail on replay, byte-identically described
+    replay = run_scenario(reduced.scenario, canaries=CANARY)
+    assert sorted({v.oracle for v in replay.violations}) \
+        == list(reduced.oracle_kinds)
+
+
+def test_shrink_is_deterministic():
+    s = known_failing_scenario()
+    r1 = shrink(s, canaries=CANARY)
+    r2 = shrink(s, canaries=CANARY)
+    assert r1.scenario.to_json() == r2.scenario.to_json()
+    assert r1.runs == r2.runs and r1.steps == r2.steps
+
+
+def test_shrunk_scenario_passes_without_the_canary():
+    s = known_failing_scenario()
+    reduced = shrink(s, canaries=CANARY)
+    assert run_scenario(reduced.scenario).ok
+
+
+def test_shrink_rejects_passing_scenario():
+    s = generate(scenario_seed(42, 3))
+    assert run_scenario(s).ok
+    with pytest.raises(ValueError, match="does not violate"):
+        shrink(s, canaries=())

@@ -1,0 +1,79 @@
+"""A second power failure *during* journal replay.
+
+Real jbd2 recovery can itself be interrupted; what makes it safe is
+that replay only mutates the about-to-be-mounted image, never the log.
+Here: ``recover_after_crash(crash_after_records=k)`` raises a clean
+:class:`PowerFailure` tagged with the replay position, the crash image
+is untouched, and retrying the recovery — after an interruption at
+*any* record — converges to exactly the uninterrupted result."""
+
+import pytest
+
+from repro import GiB, Machine
+from repro.faults import FaultPlan, PowerFailure
+from repro.kernel.process import O_CREAT, O_RDWR
+
+
+def crashed_machine(nfiles=8):
+    m = Machine(faults=FaultPlan().crash_at(2_000_000),
+                capacity_bytes=1 * GiB, memory_bytes=128 << 20)
+    proc = m.spawn_process("meta")
+    t = proc.new_thread()
+
+    def body():
+        for i in range(nfiles):
+            fd = yield from m.kernel.sys_open(proc, t, f"/f{i}",
+                                              O_RDWR | O_CREAT)
+            yield from m.kernel.sys_fallocate(proc, t, fd, 0, 2 * 4096)
+            yield from m.kernel.sys_fsync(proc, t, fd)
+            yield from m.kernel.sys_close(proc, t, fd)
+
+    with pytest.raises(PowerFailure):
+        m.run_process(t.run(body()))
+    return m
+
+
+def fs_snapshot(fs, nfiles=8):
+    return [(f"/f{i}", fs.exists(f"/f{i}"),
+             fs.lookup(f"/f{i}").mapped_blocks
+             if fs.exists(f"/f{i}") else 0)
+            for i in range(nfiles)]
+
+
+def test_second_power_failure_mid_replay_surfaces_cleanly():
+    m = crashed_machine()
+    records = m.fs.crash_image()
+    assert len(records) >= 4, "crash point too early for this test"
+    with pytest.raises(PowerFailure) as exc_info:
+        m.recover_after_crash(crash_after_records=len(records) // 2)
+    assert exc_info.value.during.startswith("journal replay")
+    assert "journal replay" in str(exc_info.value)
+
+
+def test_machine_stays_recoverable_after_interrupted_recovery():
+    m = crashed_machine()
+    baseline = fs_snapshot(m.recover_after_crash())
+    with pytest.raises(PowerFailure):
+        m.recover_after_crash(crash_after_records=1)
+    # the journal image was read-only during the failed replay
+    assert fs_snapshot(m.recover_after_crash()) == baseline
+
+
+def test_every_interruption_point_is_recoverable():
+    m = crashed_machine()
+    records = m.fs.crash_image()
+    baseline = fs_snapshot(m.recover_after_crash())
+    for k in range(len(records)):
+        with pytest.raises(PowerFailure) as exc_info:
+            m.recover_after_crash(crash_after_records=k)
+        assert f"record {k} of {len(records)}" in str(exc_info.value)
+        retry = m.recover_after_crash()   # fsck runs inside
+        assert fs_snapshot(retry) == baseline
+
+
+def test_interruption_past_the_last_record_is_a_full_recovery():
+    m = crashed_machine()
+    records = m.fs.crash_image()
+    recovered = m.recover_after_crash(
+        crash_after_records=len(records))
+    assert fs_snapshot(recovered) == fs_snapshot(m.recover_after_crash())
