@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint simlint-fix ruff mypy baseline perf-track perf-write monitor-demo bench-fast bench-clean bench-timings chaos chaos-replay
+.PHONY: test lint simlint simlint-fix simlint-graph ruff mypy baseline perf-track perf-write monitor-demo bench-fast bench-clean bench-timings chaos chaos-replay
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,17 +49,23 @@ perf-write:
 monitor-demo:
 	$(PYTHON) examples/latency_tour.py --monitor
 
-# fails on any new simlint violation (baselined ones are tolerated)
+# fails on any new simlint violation (baselined ones are tolerated);
+# both passes: per-module SIM001-SIM014 over src+tests+scripts, and
+# the whole-program SIM015-SIM018 pass over the package
 simlint:
-	$(PYTHON) scripts/simlint.py src/repro
+	$(PYTHON) scripts/simlint.py src/repro tests scripts
 
 # apply the mechanically safe rewrites (sorted() wraps, int casts)
 simlint-fix:
-	$(PYTHON) scripts/simlint.py src/repro --fix
+	$(PYTHON) scripts/simlint.py src/repro tests scripts --fix
+
+# print the layer DAG (pipe into `dot -Tsvg` for docs)
+simlint-graph:
+	$(PYTHON) scripts/simlint.py --graph dot
 
 # record current violations as the baseline (use sparingly; prefer fixes)
 baseline:
-	$(PYTHON) scripts/simlint.py src/repro --write-baseline
+	$(PYTHON) scripts/simlint.py src/repro tests scripts --write-baseline
 
 ruff:
 	$(PYTHON) -m ruff check .

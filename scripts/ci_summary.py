@@ -16,6 +16,7 @@ this tool only reports).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import xml.etree.ElementTree as ET
 from pathlib import Path
@@ -92,12 +93,38 @@ def slowest_from_junit(shards: List[Dict[str, object]],
     return lines
 
 
+def lint_section(path: Path) -> List[str]:
+    """Render simlint counts (``simlint --json`` output) so the
+    baseline burn-down trend is visible per run."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"_could not read lint report {path}: {exc}_"]
+    violations = data.get("violations", [])
+    by_rule: Dict[str, int] = {}
+    for v in violations:
+        by_rule[v.get("rule", "?")] = by_rule.get(v.get("rule", "?"), 0) + 1
+    lines = ["### simlint", "",
+             f"- files checked: {data.get('files_checked', 0)}",
+             f"- new violations: {len(violations)}",
+             f"- baselined (burn-down backlog): "
+             f"{data.get('baselined', 0)}"]
+    if by_rule:
+        lines += ["", "| rule | new violations |", "|---|---:|"]
+        for rule in sorted(by_rule):
+            lines.append(f"| {rule} | {by_rule[rule]} |")
+    return lines
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="ci_summary", description=__doc__)
     ap.add_argument("junit", nargs="+", type=Path,
                     help="junit XML files, one per shard")
     ap.add_argument("--timings", type=Path, default=None,
                     help="bench-timings.json for the slowest-N table")
+    ap.add_argument("--lint", type=Path, default=None,
+                    help="simlint --json report for the lint/baseline "
+                         "counts section")
     ap.add_argument("--title", default="Sharded CI results")
     ap.add_argument("--slowest", type=int, default=10)
     args = ap.parse_args(argv)
@@ -122,6 +149,9 @@ def main(argv=None) -> int:
         out.extend(slowest_from_junit(shards, args.slowest))
     else:
         out.append("_no timing data_")
+    if args.lint is not None:
+        out.append("")
+        out.extend(lint_section(args.lint))
     print("\n".join(out))
     return 0
 

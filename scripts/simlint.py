@@ -6,7 +6,14 @@ Usage:
     python scripts/simlint.py src/repro --json          # machine output
     python scripts/simlint.py src/repro --fix           # apply safe fixes
     python scripts/simlint.py src/repro --write-baseline
+    python scripts/simlint.py --graph dot               # layer DAG
     python scripts/simlint.py --list-rules
+
+Two passes run by default: the per-module AST pass (SIM001–SIM014)
+over every path given, and the whole-program pass (SIM015–SIM018 —
+import/call graph, interprocedural entropy & purity inference,
+architecture DAG) whenever one of the paths covers the package root
+(``src/repro``).  ``--no-program`` skips the second pass.
 
 Exit status: 0 when no un-baselined violations remain, 1 otherwise.
 The default baseline file is ``simlint-baseline.json`` next to this
@@ -32,14 +39,32 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis import (          # noqa: E402
     RULES,
     apply_baseline,
+    build_program,
+    export_dot,
+    export_json,
     fix_file,
     iter_rules_help,
     lint_paths,
+    lint_program,
     load_baseline,
     render_human,
     render_json,
     write_baseline,
 )
+
+
+def _covers_package(paths, package_root: Path) -> bool:
+    """True when some linted path contains the whole package root.
+
+    Linting a single file keeps the whole-program pass off — its
+    findings span the package, not the file on the command line.
+    """
+    root = package_root.resolve()
+    for p in paths:
+        candidate = Path(p).resolve()
+        if candidate == root or candidate in root.parents:
+            return True
+    return False
 
 
 def main(argv=None) -> int:
@@ -54,6 +79,17 @@ def main(argv=None) -> int:
     ap.add_argument("--rules", default="",
                     help="comma-separated rule ids to enable "
                          "(default: all)")
+    ap.add_argument("--program", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="run the whole-program pass (SIM015-SIM018) "
+                         "when a path covers the package root "
+                         "(default: on)")
+    ap.add_argument("--package-root", default=None,
+                    help="package the whole-program pass analyses "
+                         "(default: src/repro at the repo root)")
+    ap.add_argument("--graph", choices=("dot", "json"), default=None,
+                    help="print the import graph (dot: layer DAG for "
+                         "docs; json: full module graph) and exit")
     ap.add_argument("--baseline", default=None,
                     help="baseline JSON file (default: "
                          "simlint-baseline.json at the repo root)")
@@ -70,6 +106,15 @@ def main(argv=None) -> int:
 
     if args.list_rules:
         print(iter_rules_help())
+        return 0
+
+    package_root = Path(args.package_root) if args.package_root \
+        else REPO_ROOT / "src" / "repro"
+
+    if args.graph:
+        program = build_program(package_root, repo_root=REPO_ROOT)
+        exporter = export_dot if args.graph == "dot" else export_json
+        print(exporter(program))
         return 0
 
     if not args.paths:
@@ -95,6 +140,13 @@ def main(argv=None) -> int:
         # fall through: re-lint so the exit code reflects what remains
 
     result = lint_paths(args.paths, enabled=enabled, root=str(REPO_ROOT))
+
+    if args.program and _covers_package(args.paths, package_root):
+        result.violations.extend(
+            lint_program(package_root, enabled=enabled,
+                         repo_root=REPO_ROOT))
+        result.violations.sort(
+            key=lambda v: (v.path, v.line, v.rule.id, v.message))
 
     baseline_path = args.baseline or str(REPO_ROOT / "simlint-baseline.json")
     if args.write_baseline:

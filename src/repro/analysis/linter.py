@@ -35,6 +35,7 @@ __all__ = [
     "LintResult",
     "lint_source",
     "lint_paths",
+    "is_entropy_call",
     "iter_python_files",
     "load_baseline",
     "write_baseline",
@@ -141,6 +142,23 @@ GAUGE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 
 _PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 _SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
+
+
+def is_entropy_call(full: str) -> bool:
+    """True when the dotted callable ``full`` reads host time/entropy.
+
+    Shared between the per-module SIM001 check and the whole-program
+    SIM016 taint seed (:mod:`repro.analysis.program`).
+    """
+    return (
+        full in ENTROPY_CALLS
+        or full.startswith("secrets.")
+        or (full.startswith("random.")
+            and full not in _RANDOM_MODULE_OK
+            and full.count(".") == 1)
+        or (full.startswith("numpy.random.")
+            and full not in _NUMPY_RANDOM_OK)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -458,16 +476,7 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_entropy(self, node: ast.Call, full: str) -> None:
-        flagged = (
-            full in ENTROPY_CALLS
-            or full.startswith("secrets.")
-            or (full.startswith("random.")
-                and full not in _RANDOM_MODULE_OK
-                and full.count(".") == 1)
-            or (full.startswith("numpy.random.")
-                and full not in _NUMPY_RANDOM_OK)
-        )
-        if flagged:
+        if is_entropy_call(full):
             self.report(
                 "SIM001", node,
                 f"call to {full}() reads wall-clock time or OS entropy; "
@@ -1059,21 +1068,51 @@ def _float_taint(node: ast.AST) -> Optional[ast.AST]:
 # Pragmas
 # ---------------------------------------------------------------------------
 
+def _merge_pragma_ids(a: Optional[Set[str]],
+                      b: Optional[Set[str]]) -> Optional[Set[str]]:
+    """Union of two suppression sets; None ("all rules") absorbs."""
+    if a is None or b is None:
+        return None
+    return a | b
+
+
 def _pragma_map(source_lines: List[str]) -> Dict[int, Optional[Set[str]]]:
-    """line -> suppressed rule ids (None = all rules)."""
+    """line -> suppressed rule ids (None = all rules).
+
+    A comment-only pragma line covers the next line too.  Stacked
+    comment pragmas cascade — each comment line's accumulated set
+    (its own rules plus anything carried from comment pragmas above)
+    flows onto the following line — and an own-line pragma under a
+    comment pragma *merges* with the carried set instead of
+    overwriting it.
+    """
     out: Dict[int, Optional[Set[str]]] = {}
+    carry: Optional[Set[str]] = None
+    have_carry = False
     for i, line in enumerate(source_lines, start=1):
         m = _PRAGMA_RE.search(line)
-        if not m:
-            continue
-        if m.group(1) is None:
-            ids: Optional[Set[str]] = None
+        own: Optional[Set[str]] = None
+        have_own = False
+        if m:
+            have_own = True
+            if m.group(1) is not None:
+                own = {p.strip() for p in m.group(1).split(",")
+                       if p.strip()}
+        if have_own and have_carry:
+            eff = _merge_pragma_ids(own, carry)
+        elif have_own:
+            eff = own
+        elif have_carry:
+            eff = carry
         else:
-            ids = {p.strip() for p in m.group(1).split(",") if p.strip()}
-        out[i] = ids
-        # a comment-only pragma line also covers the next line
-        if line.strip().startswith("#"):
-            out.setdefault(i + 1, ids)
+            carry, have_carry = None, False
+            continue
+        out[i] = eff
+        # a comment-only pragma line forwards its accumulated set
+        if m and line.strip().startswith("#"):
+            carry, have_carry = eff, True
+        else:
+            carry, have_carry = None, False
     return out
 
 
@@ -1102,10 +1141,13 @@ def lint_source(source: str, path: str = "<string>",
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        v = Violation(rule=rule_by_id("SIM001"), path=path,
-                      line=exc.lineno or 1, col=exc.offset or 0,
-                      message=f"syntax error: {exc.msg}")
-        return [v]
+        line_no = exc.lineno or 1
+        src = lines[line_no - 1] if 1 <= line_no <= len(lines) else ""
+        v = Violation(rule=rule_by_id("SIM000"), path=path,
+                      line=line_no, col=exc.offset or 0,
+                      message=f"syntax error: {exc.msg}",
+                      source_line=src)
+        return [v] if "SIM000" in enabled_set else []
     if is_hot_module is None:
         norm = path.replace("\\", "/")
         is_hot_module = any(norm.endswith(m) for m in HOT_PATH_MODULES)

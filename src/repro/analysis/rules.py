@@ -36,6 +36,19 @@ class Rule:
 
 RULES: Tuple[Rule, ...] = (
     Rule(
+        id="SIM000",
+        name="parse-error",
+        severity=ERROR,
+        summary="file does not parse; no other rule was evaluated",
+        rationale=(
+            "a syntax error hides every other finding in the file and "
+            "must not be misfiled under a semantic rule (it used to "
+            "pollute SIM001 counts).  Fix the parse error first; the "
+            "whole-program pass also skips unparseable modules."
+        ),
+        tags=("infrastructure",),
+    ),
+    Rule(
         id="SIM001",
         name="wall-clock-entropy",
         severity=ERROR,
@@ -225,6 +238,80 @@ RULES: Tuple[Rule, ...] = (
             "return Violations."
         ),
         tags=("determinism", "layering", "chaos"),
+    ),
+    Rule(
+        id="SIM015",
+        name="layering-violation",
+        severity=ERROR,
+        summary="import edge not permitted by the architecture DAG "
+                "(or an import cycle)",
+        rationale=(
+            "the reproduction's credibility rests on the layering the "
+            "paper is about: userlib above syscalls above blockio "
+            "above NVMe, with the device model below and the "
+            "simulation engine at the bottom.  An import that jumps "
+            "the declared DAG (nvme/ importing apps/, or any cycle) "
+            "couples layers the figures treat as independent.  The "
+            "allowed edges live in repro/analysis/architecture.py; "
+            "legitimate exceptions are named friend exemptions there, "
+            "not silent imports."
+        ),
+        tags=("layering", "whole-program"),
+    ),
+    Rule(
+        id="SIM016",
+        name="transitive-entropy",
+        severity=ERROR,
+        summary="model code reaches a wall-clock/entropy sink through "
+                "a call chain",
+        rationale=(
+            "SIM001 sees one file at a time; hiding time.time() one "
+            "helper away defeats it.  The whole-program pass "
+            "propagates reads-host-entropy summaries over the call "
+            "graph, so a function whose own body is clean is still "
+            "flagged when something it calls (transitively) reads the "
+            "host clock or OS entropy.  The full call chain is "
+            "printed.  Pragma-sanctioned sinks (# simlint: "
+            "ignore[SIM001]) do not taint their callers."
+        ),
+        tags=("determinism", "whole-program"),
+    ),
+    Rule(
+        id="SIM017",
+        name="impure-oracle-call",
+        severity=ERROR,
+        summary="chaos oracle calls a function inferred to mutate "
+                "simulation state",
+        rationale=(
+            "SIM014 catches direct mutations and calls to a hardcoded "
+            "list of mutator names; this rule replaces the name-list "
+            "guesswork with inference: every function in the repo "
+            "gets a purity summary (mutates its receiver, its "
+            "arguments, or global state) propagated interprocedurally "
+            "to a fixpoint, and an oracle calling anything impure on "
+            "non-scratch state is flagged with the inference chain.  "
+            "A replayed scenario is only byte identical if judging it "
+            "changes nothing."
+        ),
+        tags=("determinism", "chaos", "whole-program"),
+    ),
+    Rule(
+        id="SIM018",
+        name="hot-path-allocation",
+        severity=WARNING,
+        summary="function reachable from the engine's per-event "
+                "dispatch allocates an unslotted class",
+        rationale=(
+            "SIM008 checks class *definitions* in three hardcoded "
+            "modules; this rule checks *allocation sites*: any class "
+            "without __slots__ (or dataclass(slots=True)) constructed "
+            "in a function transitively reachable from the engine's "
+            "per-event dispatch (Simulator.run and friends, declared "
+            "in the architecture manifest) is allocated per event — "
+            "millions of times per run — and its __dict__ costs "
+            "memory and cache misses on the hottest path we have."
+        ),
+        tags=("performance", "whole-program"),
     ),
 )
 

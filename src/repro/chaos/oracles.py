@@ -202,7 +202,9 @@ def check_slo_consistency(machine) -> List[Violation]:
 
 
 def _read_block(backend, phys: int) -> Optional[bytes]:
-    return backend.read_blocks(phys * LBAS_PER_BLOCK, LBAS_PER_BLOCK)
+    # peek_blocks, not read_blocks: reading through the live counters
+    # would perturb the very stats another oracle checks (SIM017).
+    return backend.peek_blocks(phys * LBAS_PER_BLOCK, LBAS_PER_BLOCK)
 
 
 def check_durability(recovered_fs, backend,

@@ -52,6 +52,22 @@ class MediaBackend:
             self._blocks.get(lba + i, _ZERO_BLOCK) for i in range(nblocks)
         )
 
+    def peek_blocks(self, lba: int, nblocks: int) -> Optional[bytes]:
+        """Read payload bytes without touching the access counters.
+
+        For observers only — chaos oracles and debugging tools that
+        must not perturb the run they are auditing (``read_blocks``
+        bumps ``reads``/``bytes_read``, which a later stats check
+        would see).  Returns None when capture is disabled.
+        """
+        if not self.check_range(lba, nblocks):
+            raise ValueError(f"peek beyond capacity: lba={lba} n={nblocks}")
+        if not self.capture_data:
+            return None
+        return b"".join(
+            self._blocks.get(lba + i, _ZERO_BLOCK) for i in range(nblocks)
+        )
+
     def write_blocks(self, lba: int, nblocks: int,
                      data: Optional[bytes]) -> None:
         if not self.check_range(lba, nblocks):

@@ -39,7 +39,7 @@ class SanitizerError(Exception):
     """Raised at end of run in strict mode when findings exist."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventProvenance:
     """Where an event came from (sanitize mode only)."""
 
@@ -56,7 +56,7 @@ class EventProvenance:
                 f"by {self.created_by}{sched}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Diagnostic:
     kind: str          # "ordering-race" | "stranded-process" |
     #                    "leaked-event" | "leaked-resource"

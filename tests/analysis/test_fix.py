@@ -78,6 +78,96 @@ def test_fix_is_idempotent():
     assert once == twice
 
 
+def test_fix_two_fixes_on_one_line_converge():
+    # SIM002 and SIM003 on the same line: the one-edit-per-line-per-
+    # pass policy applies them over successive passes without
+    # corrupting column offsets
+    code = _dedent("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+
+            def kick(self):
+                for d in self.pending: self.sim.timeout(2.5)
+    """)
+    fixed, n = fix_source(code)
+    assert n == 2
+    assert "sorted(self.pending)" in fixed
+    assert "int(2.5)" in fixed
+    remaining = [v for v in lint_source(fixed)
+                 if v.rule.id in ("SIM002", "SIM003")]
+    assert remaining == []
+
+
+def test_fix_two_same_rule_sites_on_one_line():
+    # two constant float delays on one line: rightmost edit lands
+    # first, the second converges on the next pass
+    code = _dedent("""
+        def proc(sim, flag):
+            yield sim.timeout(1.5) if flag else sim.timeout(2.5)
+    """)
+    fixed, n = fix_source(code)
+    assert n == 2
+    assert "int(1.5)" in fixed and "int(2.5)" in fixed
+    assert not [v for v in lint_source(fixed) if v.rule.id == "SIM003"]
+
+
+def test_fix_overlapping_spans_do_not_corrupt_source():
+    # a float delay inside a set-iteration body on one line: the two
+    # spans sit on the same line, so only one edit applies per pass;
+    # both land by convergence and the result still parses
+    code = _dedent("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+
+            def kick(self):
+                for d in self.pending: self.sim.timeout(int(d) + 0.0) \\
+                    if d else self.sim.timeout(3.5)
+    """)
+    fixed, n = fix_source(code)
+    import ast
+    ast.parse(fixed)                 # never emit unparseable source
+    assert "sorted(self.pending)" in fixed
+    twice, n2 = fix_source(fixed)
+    assert twice == fixed            # converged: re-running is a no-op
+
+
+def test_fix_twice_is_a_no_op_across_rules():
+    code = _dedent("""
+        class Flusher:
+            def __init__(self, sim):
+                self.sim = sim
+                self.pending = set()
+
+            def kick(self):
+                for d in self.pending: self.sim.timeout(2.5)
+
+            def nap(self):
+                yield self.sim.timeout(1.5)
+    """)
+    once, n1 = fix_source(code)
+    twice, n2 = fix_source(once)
+    assert n1 == 3 and n2 == 0
+    assert once == twice
+
+
+def test_fix_file_round_trip(tmp_path):
+    from repro.analysis import fix_file
+    target = tmp_path / "model.py"
+    target.write_text(_dedent("""
+        def proc(sim):
+            yield sim.timeout(2.0)
+    """))
+    assert fix_file(str(target)) == 1
+    assert "int(2.0)" in target.read_text()
+    assert fix_file(str(target)) == 0            # idempotent on disk
+    assert not [v for v in lint_source(target.read_text())
+                if v.rule.id == "SIM003"]
+
+
 def test_fix_handles_multiple_sites():
     code = _dedent("""
         class Flusher:

@@ -51,6 +51,64 @@ def test_skip_file_pragma():
     assert lint_source(code) == []
 
 
+def test_stacked_comment_pragmas_both_apply():
+    # regression: the first stacked pragma's rules used to be dropped
+    # (setdefault let the lower comment shadow the upper one)
+    code = BAD.replace(
+        "    return time.time()",
+        "    # simlint: ignore[SIM003]\n"
+        "    # simlint: ignore[SIM001]\n"
+        "    return time.time()")
+    assert lint_source(code) == []
+    flipped = BAD.replace(
+        "    return time.time()",
+        "    # simlint: ignore[SIM001]\n"
+        "    # simlint: ignore[SIM003]\n"
+        "    return time.time()")
+    assert lint_source(flipped) == []
+
+
+def test_stacked_pragmas_without_the_rule_do_not_suppress():
+    code = BAD.replace(
+        "    return time.time()",
+        "    # simlint: ignore[SIM002]\n"
+        "    # simlint: ignore[SIM003]\n"
+        "    return time.time()")
+    assert [v.rule.id for v in lint_source(code)] == ["SIM001"]
+
+
+def test_own_line_pragma_merges_with_comment_pragma_above():
+    # regression: the own-line pragma used to overwrite the carried set
+    code = BAD.replace(
+        "    return time.time()",
+        "    # simlint: ignore[SIM001]\n"
+        "    return time.time()  # simlint: ignore[SIM003]")
+    assert lint_source(code) == []
+
+
+def test_bare_ignore_absorbs_named_sets():
+    code = BAD.replace(
+        "    return time.time()",
+        "    # simlint: ignore\n"
+        "    return time.time()  # simlint: ignore[SIM003]")
+    assert lint_source(code) == []
+
+
+def test_sim000_reported_for_syntax_errors():
+    # regression: parse failures used to be misfiled under SIM001
+    violations = lint_source("def broken(:\n    pass\n", path="bad.py")
+    assert [v.rule.id for v in violations] == ["SIM000"]
+    assert "syntax error" in violations[0].message
+    assert violations[0].line == 1
+
+
+def test_sim000_respects_enabled_set():
+    code = "def broken(:\n    pass\n"
+    assert lint_source(code, enabled=["SIM001"]) == []
+    assert [v.rule.id for v in lint_source(code, enabled=["SIM000"])] \
+        == ["SIM000"]
+
+
 def test_baseline_round_trip(tmp_path):
     violations = lint_source(BAD, path="model.py")
     assert violations

@@ -158,7 +158,7 @@ class TestProperties:
                 yield from store.put(k, v)
                 model[k] = v
             yield from store.check_tree()
-            for k, v in model.items():
+            for k, v in sorted(model.items()):
                 got = yield from store.get(k)
                 assert got == v
             assert store.item_count == len(model)

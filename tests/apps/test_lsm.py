@@ -330,7 +330,7 @@ class TestLSMProperty:
                 if rng.random() < 0.08:
                     yield from store.flush()
             yield from store.flush()
-            for key, value in model.items():
+            for key, value in sorted(model.items()):
                 got = yield from store.get(key)
                 assert got == value
 

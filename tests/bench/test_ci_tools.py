@@ -134,6 +134,36 @@ class TestSummary:
         assert "_no junit results found_" in captured.out
         assert "missing junit file" in captured.err
 
+    def test_lint_section_reports_counts(self, tmp_path, capsys):
+        import json
+        (tmp_path / "bench-shard0.xml").write_text(self.JUNIT)
+        report = tmp_path / "lint-report.json"
+        report.write_text(json.dumps({
+            "files_checked": 195, "baselined": 10,
+            "violations": [
+                {"rule": "SIM001", "path": "x.py", "line": 3},
+                {"rule": "SIM016", "path": "y.py", "line": 7},
+                {"rule": "SIM016", "path": "z.py", "line": 9},
+            ]}))
+        rc = ci_summary.main([str(tmp_path / "bench-shard0.xml"),
+                              "--lint", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "### simlint" in out
+        assert "files checked: 195" in out
+        assert "new violations: 3" in out
+        assert "burn-down backlog): 10" in out
+        assert "| SIM016 | 2 |" in out
+
+    def test_lint_section_tolerates_broken_report(self, tmp_path, capsys):
+        (tmp_path / "bench-shard0.xml").write_text(self.JUNIT)
+        report = tmp_path / "lint-report.json"
+        report.write_text("{not json")
+        rc = ci_summary.main([str(tmp_path / "bench-shard0.xml"),
+                              "--lint", str(report)])
+        assert rc == 0
+        assert "could not read lint report" in capsys.readouterr().out
+
 
 class TestCommittedTimings:
     def test_committed_timings_cover_benchmark_files(self):

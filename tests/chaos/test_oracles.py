@@ -185,8 +185,14 @@ class FakeFs:
 class FakeBackend:
     def __init__(self, blocks):
         self._blocks = blocks        # phys block -> bytes or None
+        self.reads = 0               # oracles must never bump this
 
     def read_blocks(self, lba, count):
+        self.reads += 1
+        return self._blocks.get(lba // 8)
+
+    def peek_blocks(self, lba, count):
+        # counter-free observer path, mirroring MediaBackend
         return self._blocks.get(lba // 8)
 
 
