@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint simlint-fix simlint-graph ruff mypy baseline perf-track perf-write monitor-demo bench-fast bench-clean bench-timings chaos chaos-replay
+.PHONY: test lint simlint simlint-fix simlint-graph ruff mypy baseline perf-track perf-write perf-gate monitor-demo bench-fast bench-clean bench-timings bench-engine engine-diff chaos chaos-replay
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,25 @@ bench-clean:
 bench-timings:
 	$(PYTHON) -m repro.bench all --jobs 1 --no-cache \
 	  --timings bench-timings.json > /dev/null
+
+# wall-clock regression gate: rerun the experiment matrix serially and
+# compare against the committed bench-timings.json with tolerance
+# bands (scripts/perf_gate.py); refresh the baseline with
+# `make bench-timings` after an intentional perf change
+perf-gate:
+	$(PYTHON) -m repro.bench all --jobs 1 --no-cache \
+	  --timings .perf-gate-timings.json > /dev/null
+	$(PYTHON) scripts/perf_gate.py .perf-gate-timings.json
+
+# hot-path ops/sec, overhauled engine vs the frozen reference
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --json engine-bench.json
+
+# full differential-timeline run: every registry experiment on both
+# engines, byte-identical or bust (minutes of wall clock)
+engine-diff:
+	REPRO_ENGINE_DIFF_FULL=1 $(PYTHON) -m pytest -q \
+	  tests/sim/test_engine_diff.py
 
 # compare the span-measured latency matrix against BENCH_perf.json
 perf-track:

@@ -93,6 +93,26 @@ def slowest_from_junit(shards: List[Dict[str, object]],
     return lines
 
 
+def engine_bench_section(path: Path) -> List[str]:
+    """Render the ``benchmarks/bench_engine.py --json`` artifact: hot-path
+    ops/sec for the overhauled engine vs the frozen reference."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"_could not read engine bench {path}: {exc}_"]
+    lines = ["### Engine hot-path ops/sec", "",
+             "| loop | ops | new (ops/s) | reference (ops/s) "
+             "| speedup |",
+             "|---|---:|---:|---:|---:|"]
+    for b in data.get("benchmarks", []):
+        lines.append(
+            f"| {b.get('name')} | {b.get('ops', 0):,} "
+            f"| {float(b.get('new_ops_per_sec', 0.0)):,.0f} "
+            f"| {float(b.get('ref_ops_per_sec', 0.0)):,.0f} "
+            f"| {float(b.get('speedup', 0.0)):.2f}x |")
+    return lines
+
+
 def lint_section(path: Path) -> List[str]:
     """Render simlint counts (``simlint --json`` output) so the
     baseline burn-down trend is visible per run."""
@@ -125,6 +145,9 @@ def main(argv=None) -> int:
     ap.add_argument("--lint", type=Path, default=None,
                     help="simlint --json report for the lint/baseline "
                          "counts section")
+    ap.add_argument("--engine-bench", type=Path, default=None,
+                    help="bench_engine.py JSON artifact for the "
+                         "hot-path ops/sec section")
     ap.add_argument("--title", default="Sharded CI results")
     ap.add_argument("--slowest", type=int, default=10)
     args = ap.parse_args(argv)
@@ -149,6 +172,9 @@ def main(argv=None) -> int:
         out.extend(slowest_from_junit(shards, args.slowest))
     else:
         out.append("_no timing data_")
+    if args.engine_bench is not None:
+        out.append("")
+        out.extend(engine_bench_section(args.engine_bench))
     if args.lint is not None:
         out.append("")
         out.extend(lint_section(args.lint))

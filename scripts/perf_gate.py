@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""perf_gate — fail CI when experiment wall time regresses.
+
+    python scripts/perf_gate.py fresh-timings.json \
+        --baseline bench-timings.json [--markdown]
+
+Compares a fresh ``--timings`` dump (``make bench-timings`` writes one)
+against the committed baseline, experiment by experiment, with
+tolerance bands sized for shared-runner noise:
+
+- an experiment regresses when ``fresh > baseline * (1 + tolerance)
+  + floor``; the floor keeps sub-second experiments (pure jitter) from
+  tripping the gate, the relative band covers the real ones;
+- per-experiment overrides in :data:`PER_EXPERIMENT_TOLERANCE` widen
+  the band for known-noisy entries;
+- improvements never fail the gate — they are listed so a deliberate
+  speedup is visible and the baseline gets refreshed.
+
+Exit status: 0 when no experiment regresses, 1 otherwise.  With
+``--markdown`` the comparison table is printed as GitHub-flavoured
+markdown (for ``$GITHUB_STEP_SUMMARY``); default output is plain text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.timings import load_timings  # noqa: E402
+
+# Relative band every experiment gets.  Shared runners show ~2x wall
+# time windows for the *same* experiment back to back (measured on the
+# dev VM), so the band is +100%: loose enough to absorb host noise,
+# tight enough to catch the accidental-O(n^2) class of regression.
+DEFAULT_TOLERANCE = 1.00
+# Absolute slack added on top — keeps millisecond experiments from
+# failing on scheduler jitter alone.
+DEFAULT_FLOOR_S = 0.50
+
+# Wider bands for entries whose wall time is dominated by process
+# fan-out or host I/O rather than the simulation loop.
+PER_EXPERIMENT_TOLERANCE: Dict[str, float] = {
+    "table4": 2.0,     # sub-millisecond: pure noise
+    "fig5": 2.0,       # sub-millisecond: pure noise
+    "table2": 2.0,     # milliseconds: pure noise
+}
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float,
+            floor_s: float) -> List[dict]:
+    """Per-experiment verdicts, sorted by experiment name."""
+    fresh_by = {e["experiment"]: e for e in fresh.get("experiments", [])}
+    base_by = {e["experiment"]: e for e in baseline.get("experiments", [])}
+    rows = []
+    for name in sorted(set(fresh_by) | set(base_by)):
+        f, b = fresh_by.get(name), base_by.get(name)
+        if f is None or b is None:
+            rows.append({"experiment": name, "status": "missing",
+                         "fresh_s": f and f.get("wall_s"),
+                         "base_s": b and b.get("wall_s"),
+                         "detail": "fresh run" if f is None
+                         else "baseline"})
+            continue
+        fw = float(f.get("wall_s", 0.0) or 0.0)
+        bw = float(b.get("wall_s", 0.0) or 0.0)
+        tol = PER_EXPERIMENT_TOLERANCE.get(name, tolerance)
+        limit = bw * (1.0 + tol) + floor_s
+        ratio = fw / bw if bw > 0 else float("inf")
+        if not f.get("ok", True):
+            status = "failed"
+        elif fw > limit:
+            status = "regressed"
+        elif fw < bw * 0.8:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append({"experiment": name, "status": status,
+                     "fresh_s": fw, "base_s": bw, "ratio": ratio,
+                     "limit_s": limit})
+    return rows
+
+
+def render(rows: List[dict], markdown: bool) -> str:
+    def fmt(x):
+        return "-" if x is None else f"{x:.2f}"
+
+    lines = []
+    if markdown:
+        lines += ["### perf gate", "",
+                  "| experiment | baseline (s) | fresh (s) | ratio "
+                  "| limit (s) | status |",
+                  "|---|---:|---:|---:|---:|---|"]
+        for r in rows:
+            lines.append(
+                f"| {r['experiment']} | {fmt(r.get('base_s'))} "
+                f"| {fmt(r.get('fresh_s'))} "
+                f"| {fmt(r.get('ratio'))} | {fmt(r.get('limit_s'))} "
+                f"| {r['status']} |")
+    else:
+        for r in rows:
+            lines.append(
+                f"{r['experiment']:<12} base={fmt(r.get('base_s')):>8} "
+                f"fresh={fmt(r.get('fresh_s')):>8} "
+                f"ratio={fmt(r.get('ratio')):>6}  {r['status']}")
+    bad = [r for r in rows if r["status"] in ("regressed", "failed")]
+    missing = [r for r in rows if r["status"] == "missing"]
+    summary = (f"{len(rows)} experiments: {len(bad)} regressed/failed, "
+               f"{len(missing)} missing, "
+               f"{sum(1 for r in rows if r['status'] == 'improved')} "
+               f"improved")
+    lines += ["", summary]
+    if bad:
+        lines.append("FAIL: " + ", ".join(r["experiment"] for r in bad))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="perf_gate", description=__doc__)
+    ap.add_argument("fresh", type=Path,
+                    help="timings JSON from the fresh run under test")
+    ap.add_argument("--baseline", type=Path,
+                    default=REPO_ROOT / "bench-timings.json",
+                    help="committed baseline timings "
+                         "(default: bench-timings.json)")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="relative band (0.5 = +50%% allowed)")
+    ap.add_argument("--floor-s", type=float, default=DEFAULT_FLOOR_S,
+                    help="absolute slack in seconds added to every band")
+    ap.add_argument("--markdown", action="store_true",
+                    help="GitHub-flavoured markdown output")
+    args = ap.parse_args(argv)
+
+    fresh = load_timings(args.fresh)
+    baseline = load_timings(args.baseline)
+    rows = compare(fresh, baseline, args.tolerance, args.floor_s)
+    print(render(rows, args.markdown))
+    bad = [r for r in rows if r["status"] in ("regressed", "failed",
+                                              "missing")]
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ __all__ = [
     "FRIEND_EDGES",
     "HOT_ENTRY_POINTS",
     "ORACLE_MODULES",
+    "FROZEN_MODULES",
     "default_manifest",
 ]
 
@@ -92,6 +93,7 @@ class Manifest:
     friends: Tuple[FriendEdge, ...] = ()
     hot_entries: Tuple[str, ...] = ()    # "pkg.mod:Class.method" qualnames
     oracle_modules: Tuple[str, ...] = ()  # module names held to purity
+    frozen_modules: Tuple[str, ...] = ()  # test oracles: never report in
 
     _layer_cache: Dict[str, Optional[str]] = field(
         default_factory=dict, repr=False)
@@ -206,13 +208,29 @@ FRIEND_EDGES: Tuple[FriendEdge, ...] = (
 
 # Per-event dispatch: everything the engine executes once per event.
 # Reachability from these seeds defines "the hot path" for SIM018.
+# The overhauled engine splits run()/_post into pre-bound fast and
+# instrumented variants — both sides are per-event dispatch.
 HOT_ENTRY_POINTS: Tuple[str, ...] = (
     "repro.sim.engine:Simulator.run",
-    "repro.sim.engine:Simulator._post",
+    "repro.sim.engine:Simulator._run_fast",
+    "repro.sim.engine:Simulator._run_slow",
+    "repro.sim.engine:Simulator._post_fast",
+    "repro.sim.engine:Simulator._post_slow",
+    "repro.sim.engine:Simulator._place",
+    "repro.sim.engine:Simulator._advance",
     "repro.sim.engine:Process._step",
     "repro.sim.engine:Process._resume",
     "repro.sim.engine:Event.succeed",
     "repro.sim.engine:Event.fail",
+)
+
+# Modules frozen as test oracles: verbatim historical code kept only so
+# differential harnesses can compare behaviour against it.  simlint
+# parses them (imports still feed the graph) but reports no violations
+# inside them — fixing lint findings in a frozen oracle would defeat
+# its purpose.
+FROZEN_MODULES: Tuple[str, ...] = (
+    "repro.sim.engine_reference",
 )
 
 # Modules whose functions must be pure observers (SIM017).
@@ -246,4 +264,5 @@ def default_manifest() -> Manifest:
         friends=FRIEND_EDGES,
         hot_entries=HOT_ENTRY_POINTS,
         oracle_modules=ORACLE_MODULES,
+        frozen_modules=FROZEN_MODULES,
     )

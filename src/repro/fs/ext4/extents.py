@@ -45,6 +45,9 @@ class ExtentTree:
 
     def __init__(self):
         self._extents: List[Extent] = []
+        # _keys[i] == _extents[i].logical, maintained on every mutation:
+        # lookups (millions per fallocate-heavy run) must not rebuild it.
+        self._keys: List[int] = []
 
     def __len__(self) -> int:
         return len(self._extents)
@@ -73,18 +76,30 @@ class ExtentTree:
         return ext.physical + offset, ext.count - offset
 
     def _find(self, file_block: int) -> Optional[int]:
-        keys = [e.logical for e in self._extents]
-        idx = bisect.bisect_right(keys, file_block) - 1
+        idx = bisect.bisect_right(self._keys, file_block) - 1
         if idx < 0:
             return None
         if self._extents[idx].contains(file_block):
             return idx
         return None
 
+    def next_mapped(self, file_block: int) -> Optional[int]:
+        """First mapped file block at or after ``file_block``.
+
+        Lets hole scans jump straight to the end of an unmapped run
+        instead of probing block by block.  None when nothing at or
+        after ``file_block`` is mapped.
+        """
+        idx = bisect.bisect_right(self._keys, file_block) - 1
+        if idx >= 0 and self._extents[idx].contains(file_block):
+            return file_block
+        if idx + 1 < len(self._extents):
+            return self._extents[idx + 1].logical
+        return None
+
     def insert(self, extent: Extent) -> None:
         """Insert a mapping; overlapping an existing one is a bug."""
-        keys = [e.logical for e in self._extents]
-        idx = bisect.bisect_left(keys, extent.logical)
+        idx = bisect.bisect_left(self._keys, extent.logical)
         for neighbor in (idx - 1, idx):
             if 0 <= neighbor < len(self._extents):
                 other = self._extents[neighbor]
@@ -94,6 +109,7 @@ class ExtentTree:
                         f"extent overlap: {extent} vs {other}"
                     )
         self._extents.insert(idx, extent)
+        self._keys.insert(idx, extent.logical)
         self._merge_around(max(idx - 1, 0))
 
     def _merge_around(self, idx: int) -> None:
@@ -104,6 +120,7 @@ class ExtentTree:
                 self._extents[idx:idx + 2] = [
                     Extent(a.logical, a.physical, a.count + b.count)
                 ]
+                del self._keys[idx + 1]
             else:
                 idx += 1
 
@@ -126,6 +143,7 @@ class ExtentTree:
                 kept.append(Extent(ext.logical, ext.physical, keep))
                 freed.append((ext.physical + keep, ext.count - keep))
         self._extents = kept
+        self._keys = [e.logical for e in kept]
         return freed
 
     def physical_runs(self) -> List[Tuple[int, int]]:

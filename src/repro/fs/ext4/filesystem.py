@@ -244,10 +244,9 @@ class Ext4Filesystem:
             if mapping is not None:
                 block += mapping[1]
                 continue
-            # Find the run of unmapped blocks.
-            run_end = block
-            while run_end <= last and inode.extents.lookup(run_end) is None:
-                run_end += 1
+            # The unmapped run ends at the next mapped block (or last).
+            nxt = inode.extents.next_mapped(block)
+            run_end = last + 1 if nxt is None else min(nxt, last + 1)
             yield from self.allocate_blocks(inode, block, run_end - block)
             block = run_end
         if offset + length > inode.size:

@@ -159,7 +159,7 @@ class Sanitizer:
         if self._finished:
             return
         self._flush_bucket()
-        if not self.sim._queue:      # only a *drained* queue proves leaks
+        if not self.sim.pending_events:   # only a drained queue proves leaks
             self._check_stranded()
             self._check_leaked_events()
             self._check_leaked_resources()

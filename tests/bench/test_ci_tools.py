@@ -13,9 +13,11 @@ sys.path.insert(0, str(SCRIPTS))
 
 ci_shard = importlib.import_module("ci_shard")
 ci_summary = importlib.import_module("ci_summary")
+perf_gate = importlib.import_module("perf_gate")
 
 
 def timings_file(tmp_path, entries):
+    tmp_path.mkdir(parents=True, exist_ok=True)
     path = tmp_path / "bench-timings.json"
     path.write_text(json.dumps({
         "schema": 1, "tree": "t", "jobs": 1, "start_method": "",
@@ -163,6 +165,107 @@ class TestSummary:
                               "--lint", str(report)])
         assert rc == 0
         assert "could not read lint report" in capsys.readouterr().out
+
+
+class TestEngineBenchSection:
+    ARTIFACT = {"schema": "engine-bench/v1", "benchmarks": [
+        {"name": "pure-timeout", "ops": 200_000,
+         "new_ops_per_sec": 700_000.0, "ref_ops_per_sec": 650_000.0,
+         "speedup": 1.08},
+        {"name": "event-churn", "ops": 200_000,
+         "new_ops_per_sec": 1_400_000.0, "ref_ops_per_sec": 700_000.0,
+         "speedup": 2.0},
+    ]}
+
+    def test_engine_bench_section_renders(self, tmp_path, capsys):
+        (tmp_path / "bench-shard0.xml").write_text(TestSummary.JUNIT)
+        artifact = tmp_path / "engine-bench.json"
+        artifact.write_text(json.dumps(self.ARTIFACT))
+        rc = ci_summary.main([str(tmp_path / "bench-shard0.xml"),
+                              "--engine-bench", str(artifact)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "### Engine hot-path ops/sec" in out
+        assert "| event-churn | 200,000 | 1,400,000 | 700,000 | 2.00x |" \
+            in out
+
+    def test_engine_bench_section_tolerates_broken_artifact(
+            self, tmp_path, capsys):
+        (tmp_path / "bench-shard0.xml").write_text(TestSummary.JUNIT)
+        artifact = tmp_path / "engine-bench.json"
+        artifact.write_text("{not json")
+        rc = ci_summary.main([str(tmp_path / "bench-shard0.xml"),
+                              "--engine-bench", str(artifact)])
+        assert rc == 0
+        assert "could not read engine bench" in capsys.readouterr().out
+
+
+class TestPerfGate:
+    def entry(self, name, wall_s, ok=True):
+        return {"experiment": name, "wall_s": wall_s, "sim_time_ns": 1,
+                "machines": 1, "cached": False, "ok": ok}
+
+    def test_within_band_passes(self, tmp_path, capsys):
+        base = timings_file(tmp_path / "b", [self.entry("fig13", 10.0)])
+        fresh = timings_file(tmp_path / "f", [self.entry("fig13", 12.0)])
+        rc = perf_gate.main([str(fresh), "--baseline", str(base)])
+        assert rc == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        base = timings_file(tmp_path / "b", [self.entry("fig13", 10.0)])
+        fresh = timings_file(tmp_path / "f", [self.entry("fig13", 30.0)])
+        rc = perf_gate.main([str(fresh), "--baseline", str(base),
+                             "--tolerance", "1.0"])
+        assert rc == 1
+        assert "FAIL: fig13" in capsys.readouterr().out
+
+    def test_floor_absorbs_tiny_experiment_jitter(self, tmp_path):
+        # 1 ms -> 100 ms is a 100x ratio but far under the floor
+        base = timings_file(tmp_path / "b", [self.entry("table4", 0.001)])
+        fresh = timings_file(tmp_path / "f", [self.entry("table4", 0.1)])
+        assert perf_gate.main([str(fresh), "--baseline", str(base)]) == 0
+
+    def test_failed_experiment_fails_gate(self, tmp_path):
+        base = timings_file(tmp_path / "b", [self.entry("fig13", 10.0)])
+        fresh = timings_file(
+            tmp_path / "f", [self.entry("fig13", 1.0, ok=False)])
+        assert perf_gate.main([str(fresh),
+                               "--baseline", str(base)]) == 1
+
+    def test_missing_experiment_fails_gate(self, tmp_path, capsys):
+        base = timings_file(tmp_path / "b", [self.entry("fig13", 10.0),
+                                             self.entry("fig14", 5.0)])
+        fresh = timings_file(tmp_path / "f", [self.entry("fig13", 10.0)])
+        rc = perf_gate.main([str(fresh), "--baseline", str(base)])
+        assert rc == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_improvement_is_reported_not_failed(self, tmp_path, capsys):
+        base = timings_file(tmp_path / "b", [self.entry("fig13", 10.0)])
+        fresh = timings_file(tmp_path / "f", [self.entry("fig13", 2.0)])
+        rc = perf_gate.main([str(fresh), "--baseline", str(base)])
+        assert rc == 0
+        assert "1 improved" in capsys.readouterr().out
+
+    def test_markdown_table(self, tmp_path, capsys):
+        base = timings_file(tmp_path / "b", [self.entry("fig13", 10.0)])
+        fresh = timings_file(tmp_path / "f", [self.entry("fig13", 11.0)])
+        rc = perf_gate.main([str(fresh), "--baseline", str(base),
+                             "--markdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "### perf gate" in out
+        assert "| fig13 | 10.00 | 11.00 | 1.10 |" in out
+
+    def test_gate_passes_against_itself(self):
+        """The committed baseline must pass its own gate (sanity: the
+        schema parses and every experiment is within its band)."""
+        path = REPO_ROOT / "bench-timings.json"
+        if not path.exists():
+            pytest.skip("bench-timings.json not generated yet")
+        assert perf_gate.main([str(path),
+                               "--baseline", str(path)]) == 0
 
 
 class TestCommittedTimings:
