@@ -113,6 +113,56 @@ def engine_bench_section(path: Path) -> List[str]:
     return lines
 
 
+def exemplars_section(path: Path, n: int = 3) -> List[str]:
+    """Render the top tail exemplars from a ``*.exemplars.json``
+    artifact (per-tenant dumps from
+    :func:`repro.obs.exemplar.exemplars_json`)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"_could not read exemplars {path}: {exc}_"]
+    merged = [ex for tid in sorted(data) for ex in data[tid]]
+    merged.sort(key=lambda ex: (-int(ex.get("duration_ns", 0)),
+                                int(ex.get("start_ns", 0)),
+                                int(ex.get("tid", 0))))
+    lines = [f"### Top {n} tail exemplars", ""]
+    if not merged:
+        lines.append("_no ops crossed the tail threshold_")
+        return lines
+    lines += ["| op | tenant | duration (ns) | threshold (ns) "
+              "| wait (ns) |",
+              "|---|---:|---:|---:|---:|"]
+    for ex in merged[:n]:
+        by_kind = (ex.get("waterfall") or {}).get("by_kind", {})
+        wait = sum(v for k, v in by_kind.items() if k != "service")
+        lines.append(
+            f"| `{ex.get('op')}` | {ex.get('tid')} "
+            f"| {int(ex.get('duration_ns', 0)):,} "
+            f"| {int(ex.get('threshold_ns', 0)):,} | {wait:,} |")
+    return lines
+
+
+def hostprof_section(path: Path) -> List[str]:
+    """Render the per-layer host-profiler table from a
+    ``*.hostprof.json`` artifact
+    (:meth:`repro.obs.hostprof.HostProfile.to_json`)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"_could not read host profile {path}: {exc}_"]
+    layers = data.get("layers", {})
+    total = max(1, int(data.get("total_events", 0)))
+    lines = ["### Host profiler (self-time per layer)", "",
+             f"- profile events: {total:,}",
+             f"- wall: {float(data.get('wall_s', 0.0)):.3f}s", "",
+             "| layer | events | share |", "|---|---:|---:|"]
+    for layer, events in sorted(layers.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"| {layer} | {int(events):,} "
+                     f"| {int(events) / total:.1%} |")
+    return lines
+
+
 def lint_section(path: Path) -> List[str]:
     """Render simlint counts (``simlint --json`` output) so the
     baseline burn-down trend is visible per run."""
@@ -148,6 +198,12 @@ def main(argv=None) -> int:
     ap.add_argument("--engine-bench", type=Path, default=None,
                     help="bench_engine.py JSON artifact for the "
                          "hot-path ops/sec section")
+    ap.add_argument("--exemplars", type=Path, default=None,
+                    help="*.exemplars.json artifact for the top tail "
+                         "exemplars section")
+    ap.add_argument("--hostprof", type=Path, default=None,
+                    help="*.hostprof.json artifact for the per-layer "
+                         "host profiler section")
     ap.add_argument("--title", default="Sharded CI results")
     ap.add_argument("--slowest", type=int, default=10)
     args = ap.parse_args(argv)
@@ -175,6 +231,12 @@ def main(argv=None) -> int:
     if args.engine_bench is not None:
         out.append("")
         out.extend(engine_bench_section(args.engine_bench))
+    if args.exemplars is not None:
+        out.append("")
+        out.extend(exemplars_section(args.exemplars))
+    if args.hostprof is not None:
+        out.append("")
+        out.extend(hostprof_section(args.hostprof))
     if args.lint is not None:
         out.append("")
         out.extend(lint_section(args.lint))

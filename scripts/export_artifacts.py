@@ -6,11 +6,19 @@ traced machine and writes three files into ``--out`` (default
 ``artifacts/``):
 
 - ``quickstart.trace.json`` — Chrome trace with Perfetto counter
-  tracks for every telemetry gauge (load at https://ui.perfetto.dev),
+  tracks for every telemetry gauge and submission->completion flow
+  arrows (load at https://ui.perfetto.dev),
 - ``quickstart.stacks.txt`` — collapsed stacks for flamegraph.pl
   or speedscope,
 - ``quickstart.telemetry.json`` — the telemetry dump (gauge series,
-  summaries, SLO state).
+  summaries, SLO state),
+- ``quickstart.waterfalls.json`` / ``.txt`` — the per-op latency
+  waterfalls (exact wait/service decomposition of every op),
+- ``quickstart.exemplars.json`` — tail exemplars: full span trees
+  retained for the slowest ops per tenant,
+- ``quickstart.hostprof.json`` / ``quickstart.hostprof.stacks.txt``
+  — the deterministic host profile of the run (self-time per
+  architecture layer, collapsed host stacks).
 
 ``--bench`` mode instead runs the full experiment matrix through
 :mod:`repro.bench.runner` (honouring ``--jobs``/``--monitor``) and
@@ -63,15 +71,43 @@ def quickstart_machine() -> Machine:
 
 
 def export_quickstart(out: Path) -> int:
+    from repro.obs.attribution import (render_waterfalls,
+                                       waterfalls_json)
+    from repro.obs.exemplar import (ExemplarConfig, capture_exemplars,
+                                    exemplars_json)
+    from repro.obs.hostprof import profile_call
+
     out.mkdir(parents=True, exist_ok=True)
-    m = quickstart_machine()
+    m, profile = profile_call(quickstart_machine)
     trace = out / "quickstart.trace.json"
     stacks = out / "quickstart.stacks.txt"
     telemetry = out / "quickstart.telemetry.json"
-    m.write_chrome_trace(trace)
+    m.write_chrome_trace(trace, flows=True)
     m.write_flamegraph(stacks)
     m.write_telemetry(telemetry)
-    for path in (trace, stacks, telemetry):
+
+    waterfalls = out / "quickstart.waterfalls.json"
+    waterfalls.write_text(waterfalls_json(m.tracer) + "\n",
+                          encoding="utf-8")
+    waterfalls_txt = out / "quickstart.waterfalls.txt"
+    waterfalls_txt.write_text(render_waterfalls(m.tracer),
+                              encoding="utf-8")
+
+    # The quickstart is short, so warm up fast and keep a small window
+    # — enough for the CI summary's "top tail exemplars" section.
+    exemplars = out / "quickstart.exemplars.json"
+    per_tenant = capture_exemplars(
+        m.tracer, ExemplarConfig(percentile=90.0, capacity=3, warmup=4))
+    exemplars.write_text(exemplars_json(per_tenant) + "\n",
+                         encoding="utf-8")
+
+    hostprof = out / "quickstart.hostprof.json"
+    hostprof.write_text(profile.to_json() + "\n", encoding="utf-8")
+    hostprof_stacks = out / "quickstart.hostprof.stacks.txt"
+    hostprof_stacks.write_text(profile.collapsed(), encoding="utf-8")
+
+    for path in (trace, stacks, telemetry, waterfalls, waterfalls_txt,
+                 exemplars, hostprof, hostprof_stacks):
         print(f"wrote {path} ({path.stat().st_size} bytes)")
     return 0
 

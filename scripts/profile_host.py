@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Profile the simulator's host CPU onto the architecture layer DAG.
+
+Where ``python -m repro.bench`` reports *simulated* nanoseconds, this
+answers "which layers of the simulator itself burn the wall-clock":
+it runs a workload under the deterministic host profiler
+(:mod:`repro.obs.hostprof` — a ``sys.setprofile`` hook that counts
+interpreter events instead of reading a timer) and prints self-time
+per architecture layer.  Same-seed runs produce byte-identical
+collapsed stacks and tables; the single wall-clock total is the only
+non-deterministic field (``--normalize`` zeroes it for diffing).
+
+    python scripts/profile_host.py                       # quickstart
+    python scripts/profile_host.py --experiment fig6     # one figure
+    python scripts/profile_host.py --collapsed hostprof.stacks.txt \
+        --json hostprof.json --normalize
+
+The collapsed output feeds flamegraph.pl / speedscope directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.hostprof import profile_call  # noqa: E402
+
+
+def _quickstart():
+    from export_artifacts import quickstart_machine
+    return quickstart_machine()
+
+
+def _experiment(name: str):
+    from repro.bench.runner import REGISTRY, reset_ambient_state
+    if name not in REGISTRY:
+        raise SystemExit(f"unknown experiment: {name}")
+    reset_ambient_state()
+    return REGISTRY[name].build()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="profile_host.py",
+        description="Deterministic host profile of a simulator run, "
+                    "folded onto the architecture layer DAG.")
+    parser.add_argument("--experiment", metavar="NAME", default=None,
+                        help="profile one bench experiment instead of "
+                             "the README quickstart")
+    parser.add_argument("--collapsed", type=Path, metavar="PATH",
+                        default=None,
+                        help="write collapsed stacks (flamegraph.pl / "
+                             "speedscope input)")
+    parser.add_argument("--json", type=Path, metavar="PATH",
+                        default=None,
+                        help="write the full profile as JSON")
+    parser.add_argument("--normalize", action="store_true",
+                        help="zero the wall-clock field in --json so "
+                             "same-seed dumps compare byte-identical")
+    args = parser.parse_args(argv)
+
+    if args.experiment is not None:
+        _, profile = profile_call(_experiment, args.experiment)
+        label = args.experiment
+    else:
+        _, profile = profile_call(_quickstart)
+        label = "quickstart"
+
+    print(f"target: {label}")
+    print(profile.render())
+
+    if args.collapsed is not None:
+        args.collapsed.parent.mkdir(parents=True, exist_ok=True)
+        args.collapsed.write_text(profile.collapsed(),
+                                  encoding="utf-8")
+        print(f"wrote {args.collapsed}")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            profile.to_json(normalize=args.normalize) + "\n",
+            encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,10 @@
 Loads two dumps (Chrome traces from ``Machine.write_chrome_trace`` or
 ``BENCH_perf.json``-style payloads from ``scripts/perf_track.py``),
 aligns them, and reports where the latency delta lives: per-layer
-(span category) self-time deltas plus the synthetic ``retry`` layer
-that captures extra device attempts and their backoff gaps.
+(span category) self-time deltas — each split by stamped wait state
+(``wait.arbiter``, ``wait.journal_commit``, ...) versus service —
+plus the synthetic ``retry`` layer that captures extra device
+attempts and their backoff gaps.
 
 Usage:
     python scripts/trace_diff.py baseline.trace.json current.trace.json

@@ -46,6 +46,7 @@ __all__ = [
     "HOT_ENTRY_POINTS",
     "ORACLE_MODULES",
     "FROZEN_MODULES",
+    "ATTRIBUTION_MODULES",
     "default_manifest",
 ]
 
@@ -94,6 +95,7 @@ class Manifest:
     hot_entries: Tuple[str, ...] = ()    # "pkg.mod:Class.method" qualnames
     oracle_modules: Tuple[str, ...] = ()  # module names held to purity
     frozen_modules: Tuple[str, ...] = ()  # test oracles: never report in
+    attribution_modules: Tuple[str, ...] = ()  # observers held to purity
 
     _layer_cache: Dict[str, Optional[str]] = field(
         default_factory=dict, repr=False)
@@ -200,6 +202,11 @@ FRIEND_EDGES: Tuple[FriendEdge, ...] = (
         "the perf matrix times every baseline I/O engine from the "
         "registry; the obs data model itself never touches them"),
     FriendEdge(
+        "repro.obs.hostprof", "repro.analysis",
+        "the host profiler folds wall-clock self-time onto the layer "
+        "DAG, so it reads the manifest's module->layer assignment; "
+        "analysis depends on nothing, so the edge adds no cycle"),
+    FriendEdge(
         "repro.chaos", "repro.bench.runner",
         "the chaos CLI fans scenario batches out over the bench "
         "runner's process pool instead of growing a second one, and "
@@ -236,6 +243,14 @@ FROZEN_MODULES: Tuple[str, ...] = (
 # Modules whose functions must be pure observers (SIM017).
 ORACLE_MODULES: Tuple[str, ...] = ("repro.chaos.oracles",)
 
+# Latency-attribution observers held to the same inferred purity
+# (SIM019): folding a trace into waterfalls or capturing exemplars
+# must never mutate simulation state.
+ATTRIBUTION_MODULES: Tuple[str, ...] = (
+    "repro.obs.attribution",
+    "repro.obs.exemplar",
+)
+
 _ASSIGNMENTS: Dict[str, str] = {
     "repro": "root",
     "repro.machine": "machine",
@@ -265,4 +280,5 @@ def default_manifest() -> Manifest:
         hot_entries=HOT_ENTRY_POINTS,
         oracle_modules=ORACLE_MODULES,
         frozen_modules=FROZEN_MODULES,
+        attribution_modules=ATTRIBUTION_MODULES,
     )

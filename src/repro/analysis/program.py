@@ -1059,11 +1059,15 @@ def _call_is_impure(result: ProgramResult,
     return None
 
 
-def _check_oracle_purity(result: ProgramResult) -> None:
-    oracle_modules = set(result.manifest.oracle_modules)
+def _check_module_purity(result: ProgramResult, modules: Set[str],
+                         rule_id: str, noun: str, remedy: str) -> None:
+    """Shared purity pass: every function in ``modules`` must avoid
+    calls inferred to mutate non-scratch state (SIM017's machinery,
+    parameterized so SIM019 can hold the attribution observers to the
+    same contract)."""
     reported: Set[Tuple[str, int, str]] = set()
     for qual, fn in sorted(result.program.functions.items()):
-        if fn.module not in oracle_modules:
+        if fn.module not in modules:
             continue
         for site in fn.calls:
             if site.kind == "dynamic" and not site.unique:
@@ -1082,12 +1086,26 @@ def _check_oracle_purity(result: ProgramResult) -> None:
             what = {"self": "its receiver", "args": "its arguments",
                     "global": "global state"}[kind]
             result.violations.append(_make_violation(
-                result, "SIM017", fn.module, site.line,
-                f"oracle {_short(qual)}() calls "
+                result, rule_id, fn.module, site.line,
+                f"{noun} {_short(qual)}() calls "
                 f"{_short(site.callee)}(), inferred to mutate {what} "
-                f"({chain}); oracles must be pure observers — read "
-                f"attributes and return Violations, or move the "
-                f"mutation into the executor"))
+                f"({chain}); {remedy}"))
+
+
+def _check_oracle_purity(result: ProgramResult) -> None:
+    _check_module_purity(
+        result, set(result.manifest.oracle_modules), "SIM017", "oracle",
+        "oracles must be pure observers — read attributes and return "
+        "Violations, or move the mutation into the executor")
+
+
+def _check_attribution_purity(result: ProgramResult) -> None:
+    _check_module_purity(
+        result, set(result.manifest.attribution_modules), "SIM019",
+        "attribution observer",
+        "latency attribution must never mutate simulation state — "
+        "fold recorded spans into fresh local structures and return "
+        "them")
 
 
 def _check_hot_allocations(result: ProgramResult) -> None:
@@ -1132,6 +1150,7 @@ def analyze_program(program: Program,
     _check_layering(result)
     _check_transitive_entropy(result)
     _check_oracle_purity(result)
+    _check_attribution_purity(result)
     _check_hot_allocations(result)
     if manifest.frozen_modules:
         frozen_paths = {

@@ -313,6 +313,25 @@ RULES: Tuple[Rule, ...] = (
         ),
         tags=("performance", "whole-program"),
     ),
+    Rule(
+        id="SIM019",
+        name="attribution-mutates-state",
+        severity=ERROR,
+        summary="latency-attribution code calls a function inferred "
+                "to mutate non-local state",
+        rationale=(
+            "The waterfall/exemplar observers (attribution_modules in "
+            "the architecture manifest) read recorded spans and fold "
+            "them into reports; if they mutated the tracer, a "
+            "histogram shared with the monitor, or any simulation "
+            "object, enabling attribution would perturb the timeline "
+            "it measures and break the byte-identical determinism "
+            "contract.  Same interprocedural purity inference as "
+            "SIM017: local scratch is fine, writes through "
+            "parameters/globals are not."
+        ),
+        tags=("determinism", "whole-program"),
+    ),
 )
 
 _BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}

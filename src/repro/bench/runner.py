@@ -57,6 +57,7 @@ from ..faults import (
     canary,
     set_default_injector,
 )
+from ..obs.hostprof import profile_call
 from ..obs.monitor import (
     SLO,
     MonitorConfig,
@@ -80,6 +81,7 @@ __all__ = [
     "job_seed",
     "fan_out",
     "normalize_faults_spec",
+    "profile_section",
     "registry_names",
     "reset_ambient_state",
     "run_experiments",
@@ -88,7 +90,8 @@ __all__ = [
     "telemetry_section",
 ]
 
-CACHE_SCHEMA = 1
+# 2: job_config grew the "profile" key (host profiler pass).
+CACHE_SCHEMA = 2
 DEFAULT_CACHE_DIR = ".bench-cache"
 
 
@@ -192,13 +195,14 @@ def normalize_faults_spec(spec: Optional[str]) -> Optional[str]:
 
 
 def job_config(experiment: str, faults: Optional[str],
-               monitor: bool) -> Dict[str, Any]:
+               monitor: bool, profile: bool = False) -> Dict[str, Any]:
     """The normalized configuration that keys the cache."""
     return {
         "schema": CACHE_SCHEMA,
         "experiment": experiment,
         "faults": normalize_faults_spec(faults),
         "monitor": bool(monitor),
+        "profile": bool(profile),
     }
 
 
@@ -347,6 +351,12 @@ def telemetry_section(name: str, monitors: Sequence) -> str:
     return "\n".join(lines)
 
 
+def profile_section(name: str, profile) -> str:
+    """The host-profiler report for one experiment (the per-layer
+    table; the collapsed stacks live in the payload for artifacts)."""
+    return f"host profile [{name}]\n{profile.render()}"
+
+
 def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one experiment inside a clean ambient environment.
 
@@ -374,8 +384,12 @@ def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
         if config.get("monitor"):
             set_default_monitor(MonitorConfig(slos=MONITOR_SLOS))
         spec = REGISTRY[name]
+        profile = None
         with redirect_stdout(buf):
-            table = spec.build()
+            if config.get("profile"):
+                table, profile = profile_call(spec.build)
+            else:
+                table = spec.build()
         monitors = drain_ambient_monitors() if config.get("monitor") else []
         # Byte-for-byte what the serial path printed: stray experiment
         # stdout, then ResultTable.show() (blank line, table, blank
@@ -383,6 +397,8 @@ def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
         text = buf.getvalue() + "\n" + table.render() + "\n\n"
         if config.get("monitor"):
             text += telemetry_section(name, monitors) + "\n"
+        if profile is not None:
+            text += profile_section(name, profile) + "\n"
         payload: Dict[str, Any] = {
             "schema": CACHE_SCHEMA,
             "experiment": name,
@@ -399,6 +415,8 @@ def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
                 "samples": sum(m.samples_taken for m in monitors),
                 "breaches": sum(m.breach_count for m in monitors),
             } if config.get("monitor") else None),
+            "profile": (profile.to_dict()
+                        if profile is not None else None),
         }
     except Exception:
         payload = {
@@ -555,6 +573,7 @@ def run_experiments(names: Sequence[str], *,
                     cache_dir: Optional[os.PathLike] = None,
                     faults: Optional[str] = None,
                     monitor: bool = False,
+                    profile: bool = False,
                     start_method: Optional[str] = None,
                     timings_path: Optional[os.PathLike] = None,
                     out: Optional[IO[str]] = None,
@@ -581,7 +600,7 @@ def run_experiments(names: Sequence[str], *,
 
     jobs_by_name: Dict[str, Dict[str, Any]] = {}
     for name in names:
-        config = job_config(name, faults, monitor)
+        config = job_config(name, faults, monitor, profile)
         fp = job_fingerprint(tree, config)
         jobs_by_name[name] = {
             "experiment": name,

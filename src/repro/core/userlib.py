@@ -268,11 +268,15 @@ class UserLib:
         yield from self._wait_pending(thread, state, offset, nbytes)
         ctx = self._ctx(thread)
         # Backpressure: never outrun the submission queue.
+        tracer = self.kernel.tracer
         while ctx.qp.inflight >= ctx.qp.depth - 1:
             oldest = next(iter(state.pending_writes.values()), None)
             if oldest is None:
                 break
+            stall_t0 = self.sim.now
             yield from thread.block(oldest)
+            tracer.add_wait("sq_full", self.sim.now - stall_t0,
+                            thread=thread)
         cmd = Command(Opcode.WRITE, addr=state.vba + offset,
                       nbytes=nbytes, addr_kind=AddressKind.VBA,
                       buffer_iova=ctx.buf.iova, data=data)
@@ -489,7 +493,10 @@ class UserLib:
                                              error_retries)
                 backoff = self.params.retry_backoff_ns(error_retries)
                 self.max_backoff_ns = max(self.max_backoff_ns, backoff)
+                backoff_t0 = self.sim.now
                 yield from thread.sleep(backoff)
+                tracer.add_wait("retry_backoff",
+                                self.sim.now - backoff_t0, thread=thread)
                 continue
             self.io_errors += 1
             raise IOError_(completion)

@@ -151,7 +151,10 @@ class BlockIOLayer:
             finally:
                 self.tracer.end(token)
             if charge_irq and self.params.irq_completion_ns:
+                irq_t0 = self.sim.now
                 yield from thread.compute(self.params.irq_completion_ns)
+                self.tracer.add_wait("softirq", self.sim.now - irq_t0,
+                                     thread=thread)
             if completion.ok:
                 return completion.data
             if not completion.status.retryable \
@@ -164,7 +167,10 @@ class BlockIOLayer:
             self.max_attempts = max(self.max_attempts, attempt)
             backoff = self.params.retry_backoff_ns(attempt)
             self.max_backoff_ns = max(self.max_backoff_ns, backoff)
+            backoff_t0 = self.sim.now
             yield from thread.sleep(backoff)
+            self.tracer.add_wait("retry_backoff", self.sim.now - backoff_t0,
+                                 thread=thread)
 
     # -- thread-accounted path (syscalls) -------------------------------------
 

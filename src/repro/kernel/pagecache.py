@@ -87,11 +87,19 @@ class PageCache:
 
     def _insert(self, thread: Thread, key: Tuple[int, int],
                 data: Optional[bytes], dirty: bool) -> Generator:
+        sim = self.blockio.sim
+        tracer = self.blockio.tracer
         while len(self._pages) >= self.capacity:
             victim, vdata = self._pages.popitem(last=False)
             if victim in self._dirty:
                 self._dirty.discard(victim)
+                # Eviction under memory pressure forces the caller to
+                # wait on a dirty victim's writeback — the buffered
+                # path's dirty-throttle stall.
+                throttle_t0 = sim.now
                 yield from self._writeback(thread, victim, vdata)
+                tracer.add_wait("dirty_writeback", sim.now - throttle_t0,
+                                thread=thread)
         self._pages[key] = data
         if dirty:
             self._dirty.add(key)

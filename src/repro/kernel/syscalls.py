@@ -270,7 +270,10 @@ class Kernel:
             yield from self._vfs(thread)
             inode = fdesc.inode
             lock = self._write_lock(inode)
+            lock_t0 = self.sim.now
             yield from thread.block(lock.acquire())
+            self.tracer.add_wait("inode_lock", self.sim.now - lock_t0,
+                                 thread=thread)
             try:
                 if fdesc.append_mode:
                     offset = inode.size
@@ -415,7 +418,10 @@ class Kernel:
             yield from self._vfs(thread)
             inode = fdesc.inode
             lock = self._write_lock(inode)
+            lock_t0 = self.sim.now
             yield from thread.block(lock.acquire())
+            self.tracer.add_wait("inode_lock", self.sim.now - lock_t0,
+                                 thread=thread)
             try:
                 offset = inode.size
                 yield from self._extend_for_write(thread, inode, offset,
@@ -491,8 +497,11 @@ class Kernel:
                 self.fs.update_timestamps(inode, fdesc.accessed,
                                           fdesc.modified)
                 fdesc.accessed = fdesc.modified = False
+            commit_t0 = self.sim.now
             yield from thread.compute(self.params.journal_commit_ns)
             yield from self.fs.fsync(inode)
+            self.tracer.add_wait("journal_commit",
+                                 self.sim.now - commit_t0, thread=thread)
             yield from self._exit(thread)
         finally:
             self.tracer.end(token)

@@ -230,15 +230,18 @@ class Machine:
         self.stats().to_metrics(self.metrics, prefix="machine.")
         return self.metrics
 
-    def write_chrome_trace(self, path) -> str:
+    def write_chrome_trace(self, path, flows: bool = False) -> str:
         """Export the tracer's spans as Chrome trace JSON (Perfetto).
 
         With a monitor attached, telemetry gauges ride along as
         Perfetto counter tracks (queue depth over time next to spans).
+        ``flows`` adds submission->completion flow arrows linking each
+        host wait span to its device-side phases.
         """
         from .obs.export import write_chrome_trace
         counters = self.monitor.series if self.monitor is not None else None
-        return write_chrome_trace(self.tracer, path, counters=counters)
+        return write_chrome_trace(self.tracer, path, counters=counters,
+                                  flows=flows)
 
     def write_flamegraph(self, path) -> str:
         """Export collapsed stacks weighted by span self-time."""

@@ -151,6 +151,7 @@ class NVMeDevice:
     def submit(self, qp: QueuePair, cmd: Command) -> Event:
         """Host submits a command and rings the doorbell."""
         ev = qp.submit(cmd)
+        cmd.submit_ns = self.sim.now
         self.link.posted_writes += 1
         self._work.put((qp.qid, cmd.cid))
         return ev
@@ -195,6 +196,13 @@ class NVMeDevice:
                  cmd: Command) -> Generator[Event, object, None]:
         sim, params = self.sim, self.params
         tr = self.tracer
+        # Time spent queued behind other tenants at the arbiter —
+        # doorbell write to fetch start — lands as arbiter wait on the
+        # host's still-open wait span (the gap before this fetch child
+        # in its self-time), reached through the command's trace stamp.
+        if cmd.trace is not None and cmd.submit_ns >= 0:
+            tr.add_wait("arbiter", sim.now - cmd.submit_ns,
+                        token=cmd.trace[1])
         # The doorbell write plus command fetch over PCIe.
         token = tr.begin("nvme", "fetch", parent=cmd.trace)
         yield sim.timeout(params.command_fetch_ns)

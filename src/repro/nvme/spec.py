@@ -88,6 +88,10 @@ class Command:
     # so device-side phase spans parent under the host's wait span.
     # Carries no timing information; None when tracing is off.
     trace: Optional[Tuple[int, int]] = None
+    # Doorbell timestamp (sim ns) set by NVMeDevice.submit; the delta
+    # to fetch start is the arbiter queueing delay the device stamps
+    # as a wait attr.  Never read by timing decisions.
+    submit_ns: int = -1
 
     def __post_init__(self) -> None:
         if self.opcode is not Opcode.FLUSH:

@@ -19,15 +19,38 @@ Three pieces (see ``docs/observability.md``):
 * :mod:`repro.obs.diff` — run-to-run regression attribution: aligned
   span-tree diffing of two trace/metrics dumps, per-layer deltas and
   retry attribution (``scripts/trace_diff.py``).
+* :mod:`repro.obs.attribution` — per-op latency waterfalls: the exact
+  wait/service decomposition of every operation's span tree.
+* :mod:`repro.obs.exemplar` — tail exemplars: full span trees and
+  waterfalls retained only for ops above a percentile threshold.
+* :mod:`repro.obs.hostprof` — the deterministic host profiler mapping
+  interpreter self-time onto the architecture layer DAG.
 * :mod:`repro.obs.timings` — the ``bench-timings.json`` schema: per
   experiment wall-clock and simulated-time records written by the
   parallel runner and consumed by the CI sharder.
 """
 
+from .attribution import (
+    Segment,
+    Waterfall,
+    build_waterfall,
+    render_waterfalls,
+    waterfalls,
+    waterfalls_json,
+)
+from .exemplar import (
+    Exemplar,
+    ExemplarConfig,
+    capture_exemplars,
+    exemplars_json,
+    render_exemplars,
+    top_exemplars,
+)
 from .export import (
     ancestor_chain,
     chrome_trace_json,
     collapsed_stacks,
+    flow_events,
     format_tree,
     metrics_json,
     span_index,
@@ -35,6 +58,7 @@ from .export import (
     write_chrome_trace,
     write_flamegraph,
 )
+from .hostprof import HostProfile, HostProfiler, profile_call
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import (
     SLO,
@@ -55,6 +79,22 @@ __all__ = [
     "load_timings",
     "timing_weights",
     "write_timings",
+    "Segment",
+    "Waterfall",
+    "build_waterfall",
+    "render_waterfalls",
+    "waterfalls",
+    "waterfalls_json",
+    "Exemplar",
+    "ExemplarConfig",
+    "capture_exemplars",
+    "exemplars_json",
+    "render_exemplars",
+    "top_exemplars",
+    "HostProfile",
+    "HostProfiler",
+    "profile_call",
+    "flow_events",
     "Breach",
     "Counter",
     "Gauge",

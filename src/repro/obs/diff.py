@@ -14,9 +14,12 @@ paired in start order, each pair's delta is decomposed into per-layer
 self-time deltas, and a synthetic ``retry`` layer captures the extra
 device attempts — each op's wait spans beyond the first, plus the
 backoff gaps between them — which otherwise would smear across device
-self-time and root self-time.  All outputs are plain dicts of ints,
-floats and strings: ``scripts/trace_diff.py`` prints them as
-machine-readable JSON.
+self-time and root self-time.  Each layer's delta is further split by
+the stamped ``wait.*`` span attrs (:mod:`repro.sim.trace`) into wait
+states versus service, so the report names the wait that grew
+("arbiter queueing grew 12 us") instead of just the layer.  All
+outputs are plain dicts of ints, floats and strings:
+``scripts/trace_diff.py`` prints them as machine-readable JSON.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..sim.stats import percentile
 from ..sim.trace import Span
+from .attribution import wait_attrs
 from .export import children_map, span_index
 
 __all__ = [
@@ -130,6 +134,21 @@ def _self_times(tree: List[Span]) -> Dict[str, int]:
     return out
 
 
+def _wait_times(tree: List[Span]) -> Dict[Tuple[str, str], int]:
+    """Per-(category, wait kind) stamped wait ns in one tree.
+
+    Reads the ``wait.*`` span attrs the models stamp (sq-full stalls,
+    arbiter queueing, journal commits, ...), so a layer's growth can
+    be split into *which wait state* grew versus actual service.
+    """
+    out: Dict[Tuple[str, str], int] = {}
+    for s in tree:
+        for kind, ns in wait_attrs(s).items():
+            key = (s.category, kind)
+            out[key] = out.get(key, 0) + ns
+    return out
+
+
 def _attempt_window_ns(tree: List[Span]) -> Tuple[int, int]:
     """(attempt count, ns from first attempt start to last attempt end).
 
@@ -178,6 +197,8 @@ def diff_traces(base_spans: Iterable[Span],
 
     layer_base: Dict[str, int] = {}
     layer_cur: Dict[str, int] = {}
+    wait_base: Dict[Tuple[str, str], int] = {}
+    wait_cur: Dict[Tuple[str, str], int] = {}
     retry_delta_ns = 0
     extra_attempts = 0
     delta_total_ns = 0
@@ -189,6 +210,10 @@ def diff_traces(base_spans: Iterable[Span],
             layer_base[cat] = layer_base.get(cat, 0) + ns
         for cat, ns in _self_times(c_tree).items():
             layer_cur[cat] = layer_cur.get(cat, 0) + ns
+        for key, ns in _wait_times(b_tree).items():
+            wait_base[key] = wait_base.get(key, 0) + ns
+        for key, ns in _wait_times(c_tree).items():
+            wait_cur[key] = wait_cur.get(key, 0) + ns
         b_n, b_window = _attempt_window_ns(b_tree)
         c_n, c_window = _attempt_window_ns(c_tree)
         if c_n > b_n:
@@ -199,12 +224,35 @@ def diff_traces(base_spans: Iterable[Span],
     for cat in sorted(set(layer_base) | set(layer_cur)):
         base_ns = layer_base.get(cat, 0)
         cur_ns = layer_cur.get(cat, 0)
+        # Split the layer's growth into wait states vs service: the
+        # stamped waits say *why* a layer grew ("arbiter queueing
+        # grew"), not just that it grew.
+        kinds = sorted({k for c2, k in set(wait_base) | set(wait_cur)
+                        if c2 == cat})
+        waits = {}
+        wait_base_total = 0
+        wait_cur_total = 0
+        for kind in kinds:
+            wb = wait_base.get((cat, kind), 0)
+            wc = wait_cur.get((cat, kind), 0)
+            wait_base_total += wb
+            wait_cur_total += wc
+            waits[kind] = {
+                "baseline_ns": wb,
+                "current_ns": wc,
+                "delta_ns": wc - wb,
+                "share_of_delta": (round((wc - wb) / delta_total_ns, 4)
+                                   if delta_total_ns else 0.0),
+            }
         layers[cat] = {
             "baseline_ns": base_ns,
             "current_ns": cur_ns,
             "delta_ns": cur_ns - base_ns,
             "share_of_delta": (round((cur_ns - base_ns) / delta_total_ns, 4)
                                if delta_total_ns else 0.0),
+            "waits": waits,
+            "service_delta_ns": ((cur_ns - wait_cur_total)
+                                 - (base_ns - wait_base_total)),
         }
 
     base_digest = _latency_digest([s.duration_ns
@@ -316,6 +364,21 @@ def render_diff(result: dict, top: Optional[int] = None) -> str:
         for cat, row in ranked:
             lines.append(f"  {cat:<12} {row['delta_ns']:>+12} ns  "
                          f"({100.0 * row['share_of_delta']:+.1f}% of delta)")
+            # Wait-state split: name the wait that grew, not just the
+            # layer ("arbiter queueing grew", not "nvme grew").
+            wait_rows = sorted(
+                (row.get("waits") or {}).items(),
+                key=lambda kv: -abs(kv[1]["delta_ns"]))
+            for kind, w in wait_rows:
+                if w["delta_ns"] == 0:
+                    continue
+                lines.append(
+                    f"    wait.{kind:<16} {w['delta_ns']:>+10} ns  "
+                    f"({100.0 * w['share_of_delta']:+.1f}% of delta)")
+            if wait_rows and row.get("service_delta_ns", 0) != 0:
+                lines.append(
+                    f"    service{'':<14} "
+                    f"{row['service_delta_ns']:>+10} ns")
         retry = result["attribution"]["retry"]
         lines.append(
             f"  retry layer: {retry['extra_attempts']} extra attempts, "

@@ -31,6 +31,7 @@ __all__ = [
     "ancestor_chain",
     "chrome_trace_json",
     "counter_events",
+    "flow_events",
     "write_chrome_trace",
     "collapsed_stacks",
     "write_flamegraph",
@@ -59,7 +60,11 @@ def children_map(spans: Iterable[Span]) -> Dict[int, List[Span]]:
     """Map parent span_id (0 = roots) -> children sorted by start."""
     out: Dict[int, List[Span]] = {}
     for s in _sorted_spans(spans):
-        out.setdefault(s.parent_id, []).append(s)
+        bucket = out.get(s.parent_id)
+        if bucket is None:
+            bucket = []
+            out[s.parent_id] = bucket
+        bucket.append(s)
     return out
 
 
@@ -137,24 +142,70 @@ def counter_events(series_map, pid: int = 1) -> List[dict]:
     return events
 
 
+def flow_events(spans: Iterable[Span], pid: int = 1) -> List[dict]:
+    """Perfetto flow ("s"/"t"/"f") events linking each host-side wait
+    span to its device-side phase spans across the host/device
+    boundary.
+
+    One flow per host ``device`` span that has ``nvme`` children:
+    start at submission on the host thread, a step at each device
+    phase on the device track, finish back on the host thread at
+    completion.  Perfetto draws these as arrows, so a tail op's
+    arbiter queueing (submit arrow landing long after it left) is
+    visible at a glance.
+    """
+    spans = _sorted_spans(spans)
+    kids = children_map(spans)
+    events: List[dict] = []
+    for s in spans:
+        if s.category != "device":
+            continue
+        phases = [c for c in kids.get(s.span_id, [])
+                  if c.category == "nvme"]
+        if not phases:
+            continue
+        common = {
+            "cat": "io-flow",
+            "id": s.span_id,
+            "name": "submit->complete",
+            "pid": pid,
+        }
+        events.append({**common, "ph": "s",
+                       "tid": s.tid if s.tid >= 0 else DEVICE_TID,
+                       "ts": s.start_ns / 1000.0})
+        for phase in phases:
+            events.append({**common, "ph": "t",
+                           "tid": (phase.tid if phase.tid >= 0
+                                   else DEVICE_TID),
+                           "ts": phase.start_ns / 1000.0})
+        events.append({**common, "ph": "f", "bp": "e",
+                       "tid": s.tid if s.tid >= 0 else DEVICE_TID,
+                       "ts": s.end_ns / 1000.0})
+    return events
+
+
 def chrome_trace_json(tracer_or_spans, pid: int = 1,
-                      counters=None) -> str:
+                      counters=None, flows: bool = False) -> str:
     """Serialise to the Chrome trace JSON Array Format (deterministic:
     sorted events, sorted keys, fixed separators).  ``counters`` is an
     optional gauge-name -> TimeSeries map appended as counter tracks;
-    omitting it yields byte-identical output to before counters
-    existed, so golden traces stay stable."""
+    ``flows`` appends submission->completion flow arrows.  Omitting
+    both yields byte-identical output to before they existed, so
+    golden traces stay stable."""
     spans = getattr(tracer_or_spans, "spans", tracer_or_spans)
     events = chrome_trace_events(spans, pid=pid)
     if counters:
         events.extend(counter_events(counters, pid=pid))
+    if flows:
+        events.extend(flow_events(spans, pid=pid))
     return json.dumps({"displayTimeUnit": "ns", "traceEvents": events},
                       sort_keys=True, separators=(",", ":"))
 
 
 def write_chrome_trace(tracer_or_spans, path, pid: int = 1,
-                       counters=None) -> str:
-    text = chrome_trace_json(tracer_or_spans, pid=pid, counters=counters)
+                       counters=None, flows: bool = False) -> str:
+    text = chrome_trace_json(tracer_or_spans, pid=pid, counters=counters,
+                             flows=flows)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
         fh.write("\n")

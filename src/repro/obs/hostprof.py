@@ -1,0 +1,209 @@
+"""Deterministic host profiler: wall-clock self-time onto the layer DAG.
+
+Simulated time says where the *model* spends nanoseconds; this module
+says where the *simulator* spends host CPU — which Python frames burn
+the wall-clock of a bench run, folded onto the same architecture
+layers (``sim``, ``nvme``, ``kernel``, ...) that simlint enforces
+(:func:`repro.analysis.architecture.default_manifest`).
+
+The profiler is a :func:`sys.setprofile` hook that counts *profile
+events* (function calls, returns, C calls) instead of reading a clock:
+each event charges one unit to the frame on top of the shadow stack.
+Event counts are a pure function of the executed code path, so a
+same-seed run produces **byte-identical** collapsed stacks and layer
+tables — no timer jitter, no host-speed dependence — while remaining
+an excellent proxy for interpreter time (CPython's cost is dominated
+by dispatch, and every dispatch-heavy region is also event-heavy).
+One real wall-clock total is captured alongside for scale; it is the
+single non-deterministic field and reports normalize it away.
+
+Outputs:
+
+* :meth:`HostProfile.collapsed` — Brendan Gregg collapsed stacks
+  (``pkg.mod.func;pkg.mod.func <events>``), same format as
+  :func:`repro.obs.export.collapsed_stacks`, so flamegraph.pl and
+  speedscope work on host profiles too.
+* :meth:`HostProfile.layer_table` / :meth:`HostProfile.render` — self
+  events aggregated per architecture layer (longest-prefix module
+  assignment via :meth:`Manifest.layer_of`; non-repro frames land in
+  ``(external)``).
+
+Used by ``python -m repro.bench --profile`` and
+``scripts/profile_host.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["HostProfile", "HostProfiler", "profile_call"]
+
+# Frames outside the repro package aggregate here.
+EXTERNAL_LAYER = "(external)"
+
+# sys.setprofile event kinds that charge the *current* top of stack
+# (C calls never push a Python frame).
+_FLAT_EVENTS = ("c_call", "c_return", "c_exception")
+
+
+def _frame_label(frame) -> str:
+    """Stable frame label: ``module.qualname`` — no paths, no ids."""
+    module = frame.f_globals.get("__name__", "?")
+    code = frame.f_code
+    name = getattr(code, "co_qualname", code.co_name)
+    return f"{module}.{name}"
+
+
+def _frame_module(frame) -> str:
+    return frame.f_globals.get("__name__", "?")
+
+
+@dataclass
+class HostProfile:
+    """One profiling pass: self-event weights per stack and module."""
+
+    weights: Dict[str, int]          # "a;b;c" -> self events
+    module_events: Dict[str, int]    # module -> self events
+    total_events: int
+    wall_s: float                    # the ONE non-deterministic field
+
+    def collapsed(self) -> str:
+        """Collapsed-stack lines sorted by stack — byte-stable."""
+        return "".join(f"{stack} {self.weights[stack]}\n"
+                       for stack in sorted(self.weights))
+
+    def layer_table(self, manifest=None) -> Dict[str, int]:
+        """Self events per architecture layer, sorted by layer name.
+
+        ``manifest`` defaults to the repro manifest; frames whose
+        module has no layer assignment fall into ``(external)``.
+        """
+        manifest = manifest or _default_manifest()
+        out: Dict[str, int] = {}
+        for module, events in self.module_events.items():
+            layer = manifest.layer_of(module) or EXTERNAL_LAYER
+            out[layer] = out.get(layer, 0) + events
+        return dict(sorted(out.items()))
+
+    def render(self, manifest=None) -> str:
+        """Per-layer text table (events, share), largest first."""
+        table = self.layer_table(manifest)
+        total = max(1, self.total_events)
+        lines = [f"host profile: {self.total_events} events, "
+                 f"{self.wall_s:.3f}s wall"]
+        lines.append(f"  {'layer':<12} {'events':>12} {'share':>7}")
+        ordered = sorted(table.items(), key=lambda kv: (-kv[1], kv[0]))
+        for layer, events in ordered:
+            lines.append(f"  {layer:<12} {events:>12} "
+                         f"{events / total:>6.1%}")
+        return "\n".join(lines)
+
+    def to_dict(self, manifest=None, normalize: bool = False) -> dict:
+        """JSON-ready dump; ``normalize`` zeroes the wall-clock field
+        so same-seed dumps compare byte-identical."""
+        return {
+            "total_events": self.total_events,
+            "wall_s": 0.0 if normalize else self.wall_s,
+            "layers": self.layer_table(manifest),
+            "collapsed": self.collapsed(),
+        }
+
+    def to_json(self, manifest=None, normalize: bool = False) -> str:
+        return json.dumps(self.to_dict(manifest, normalize=normalize),
+                          sort_keys=True, separators=(",", ":"))
+
+
+def _default_manifest():
+    # Deferred: keeps module import light and the friend edge local.
+    from ..analysis.architecture import default_manifest
+    return default_manifest()
+
+
+class HostProfiler:
+    """The sys.setprofile hook plus its shadow stack.
+
+    One instance per pass; use :func:`profile_call` unless you need
+    manual start/stop control.  Not reentrant and single-threaded by
+    design (the simulator is too).
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+        self._weights: Dict[str, int] = {}
+        self._module_events: Dict[str, int] = {}
+        self._modules: List[str] = []
+        self._total = 0
+        self._t0 = 0.0
+        self._wall_s = 0.0
+
+    # -- the hook ----------------------------------------------------------
+
+    def _charge(self) -> None:
+        if not self._stack:
+            # Profiler boundary: the unwind of start() itself, seen
+            # before the profiled call pushes its first frame.
+            return
+        self._total += 1
+        key = ";".join(self._stack)
+        self._weights[key] = self._weights.get(key, 0) + 1
+        mod = self._modules[-1]
+        self._module_events[mod] = self._module_events.get(mod, 0) + 1
+
+    def _hook(self, frame, event: str, arg) -> None:
+        if event == "call":
+            self._stack.append(_frame_label(frame))
+            self._modules.append(_frame_module(frame))
+            self._charge()
+        elif event == "return":
+            self._charge()
+            if self._stack:
+                self._stack.pop()
+                self._modules.pop()
+        elif event in _FLAT_EVENTS:
+            self._charge()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        # Sweep leftover cycles from earlier runs first: otherwise the
+        # collector finalizes a *previous* machine's generators at an
+        # arbitrary allocation point inside the profiled window,
+        # injecting events that differ run to run.  A full collect also
+        # resets the generation counters, so the cyclic GC's own
+        # schedule is identical for every same-seed pass.
+        gc.collect()
+        # Wall clock is profiler metadata, never simulated time.
+        self._t0 = time.perf_counter()  # simlint: ignore[SIM001]
+        sys.setprofile(self._hook)
+
+    def stop(self) -> HostProfile:
+        sys.setprofile(None)
+        self._wall_s = time.perf_counter() - self._t0  # simlint: ignore[SIM001]
+        return HostProfile(
+            weights=dict(self._weights),
+            module_events=dict(self._module_events),
+            total_events=self._total,
+            wall_s=self._wall_s,
+        )
+
+
+def profile_call(fn: Callable[..., Any], *args,
+                 **kwargs) -> Tuple[Any, HostProfile]:
+    """Run ``fn(*args, **kwargs)`` under the profiler.
+
+    Returns ``(result, profile)``.  The hook is removed even when the
+    call raises, so a failing experiment cannot leave a global profile
+    hook armed.
+    """
+    prof = HostProfiler()
+    prof.start()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profile = prof.stop()
+    return result, profile

@@ -163,6 +163,32 @@ class Histogram:
                 return min(upper, self.max)  # type: ignore[arg-type]
         raise AssertionError("unreachable: rank exceeded total count")
 
+    def quantile_bounds(self, pct: float) -> Tuple[int, int]:
+        """Exact inclusive ``(lower, upper)`` value bounds of the
+        bucket holding the nearest-rank percentile.
+
+        The true sample at that rank lies inside these bounds — the
+        log-linear layout makes ``upper - lower < lower / 2**sub_bits``
+        above the linear range, which is where the ≤1/32 relative-error
+        contract comes from.  Unlike :meth:`percentile` the bounds are
+        *not* clamped to the observed max: they describe the bucket,
+        so thresholds derived from ``lower`` (the exemplar reservoir)
+        admit exactly the samples that landed in or above the bucket.
+
+        Raises ``ValueError`` on an empty histogram.
+        """
+        if self.count == 0:
+            raise ValueError("no samples")
+        if pct <= 0:
+            return self.bucket_bounds(self._index(int(self.min)))  # type: ignore[arg-type]
+        rank = min(self.count, math.ceil(pct / 100.0 * self.count))
+        cum = 0
+        for idx in sorted(self.counts):
+            cum += self.counts[idx]
+            if cum >= rank:
+                return self.bucket_bounds(idx)
+        raise AssertionError("unreachable: rank exceeded total count")
+
     @property
     def mean(self) -> float:
         if self.count == 0:

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple, Union
 
 from ..sim.stats import TimeSeries, percentile
+from .exemplar import ExemplarConfig, capture_exemplars, render_exemplars
 
 __all__ = [
     "DEFAULT_PERIOD_NS",
@@ -108,6 +109,11 @@ class MonitorConfig:
     period_ns: int = DEFAULT_PERIOD_NS
     phase_ns: int = DEFAULT_PHASE_NS
     slos: Tuple[SLO, ...] = ()
+    # Tail exemplar capture (repro.obs.exemplar).  None keeps it off
+    # and leaves every telemetry dump byte-identical to before the
+    # feature existed; an ExemplarConfig adds a per-tenant "exemplars"
+    # section to telemetry() and report() on traced machines.
+    exemplars: Optional["ExemplarConfig"] = None
 
 
 # -- ambient configuration (mirrors repro.faults.default_injector) -----
@@ -268,6 +274,22 @@ class Monitor:
     def breach_count(self) -> int:
         return len(self.breaches)
 
+    # -- tail exemplars ------------------------------------------------
+
+    def exemplars(self) -> Optional[Dict[int, list]]:
+        """Per-tenant tail exemplars, or None when capture is off.
+
+        Requires ``exemplars=ExemplarConfig(...)`` in the monitor
+        config *and* a real tracer on the machine (the reservoir folds
+        recorded span trees).  Pure observer: reads the trace, mutates
+        nothing."""
+        if self.config.exemplars is None:
+            return None
+        tracer = self.machine.tracer
+        if not getattr(tracer, "enabled", False):
+            return None
+        return capture_exemplars(tracer, self.config.exemplars)
+
     # -- dumps ---------------------------------------------------------
 
     def telemetry(self) -> dict:
@@ -291,7 +313,7 @@ class Monitor:
                 "breaches": [[b.t_ns, b.value] for b in self.breaches
                              if b.slo == slo.name],
             })
-        return {
+        out = {
             "schema": 1,
             "period_ns": self.config.period_ns,
             "phase_ns": self.config.phase_ns,
@@ -300,6 +322,15 @@ class Monitor:
             "gauges": gauges,
             "slos": slos,
         }
+        # Present only when exemplar capture is configured, so dumps
+        # without it stay byte-identical to the committed goldens.
+        exemplars = self.exemplars()
+        if exemplars is not None:
+            out["exemplars"] = {
+                str(tid): [ex.to_dict() for ex in exemplars[tid]]
+                for tid in sorted(exemplars)
+            }
+        return out
 
     def telemetry_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.telemetry(), sort_keys=True,
@@ -333,6 +364,12 @@ class Monitor:
                 for b in self.breaches:
                     lines.append(f"  {b.t_ns:>12}  {b.slo:<24} "
                                  f"{b.value:g}")
+        exemplars = self.exemplars()
+        if exemplars is not None:
+            lines.append(f"tail exemplars (p{cfg.exemplars.percentile:g}"
+                         f", window {cfg.exemplars.capacity}):")
+            text = render_exemplars(exemplars)
+            lines.extend("  " + ln for ln in text.splitlines())
         return "\n".join(lines)
 
 

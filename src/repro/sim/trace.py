@@ -37,7 +37,28 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Span", "TraceError", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "TraceError", "Tracer", "NullTracer", "NULL_TRACER",
+           "WAIT_PREFIX", "WAIT_KINDS"]
+
+# Wait-state attribute namespace.  A span whose interval includes time
+# spent *waiting* (rather than doing work) carries one attr per wait
+# kind: ``("wait.<kind>", total_ns)``.  Attrs are excluded from
+# tree_fingerprint's canonical form, so stamping waits never churns
+# golden fingerprints; exporters carry them through to Perfetto args
+# and obs.attribution folds them into per-op waterfalls.
+WAIT_PREFIX = "wait."
+
+# The closed catalogue of wait kinds the models stamp.  Attribution
+# and diff tooling iterate this for deterministic ordering.
+WAIT_KINDS = (
+    "sq_full",          # userlib stalled on a full submission queue
+    "arbiter",          # command queued at the NVMe arbiter pre-fetch
+    "softirq",          # completion sat in softirq/CQ backlog
+    "inode_lock",       # blocked on the inode write lock (i_rwsem)
+    "dirty_writeback",  # pagecache eviction forced dirty writeback
+    "journal_commit",   # fsync waiting on the ext4 journal commit
+    "retry_backoff",    # backoff gap between device command attempts
+)
 
 
 class TraceError(ValueError):
@@ -75,7 +96,7 @@ class _OpenSpan:
     """Mutable record of a begun-but-not-ended span."""
 
     __slots__ = ("category", "label", "start_ns", "span_id", "parent_id",
-                 "trace_id", "tid", "attrs", "stack_key")
+                 "trace_id", "tid", "attrs", "stack_key", "waits")
 
     def __init__(self, category, label, start_ns, span_id, parent_id,
                  trace_id, tid, attrs, stack_key):
@@ -88,6 +109,7 @@ class _OpenSpan:
         self.tid = tid
         self.attrs = attrs
         self.stack_key = stack_key
+        self.waits = None        # lazily a {kind: ns} dict
 
 
 class NullTracer:
@@ -116,6 +138,10 @@ class NullTracer:
         return None
 
     def stamp(self, cmd, *, thread=None, parent=None) -> None:
+        pass
+
+    def add_wait(self, kind: str, ns: int, *, thread=None,
+                 token=None) -> None:
         pass
 
 
@@ -151,6 +177,31 @@ class Tracer:
         ctx = parent if parent is not None else self.current(thread)
         if ctx is not None:
             cmd.trace = ctx
+
+    def add_wait(self, kind: str, ns: int, *, thread=None,
+                 token=None) -> None:
+        """Accumulate ``ns`` of wait time of ``kind`` onto an open span.
+
+        The target is the span for ``token`` if given, else the
+        innermost open span on ``thread``.  Waits surface as
+        ``("wait.<kind>", ns)`` attrs when the span ends; stamping is
+        observer-side only — it never touches simulated time, and a
+        missing target is silently ignored (instrumentation points may
+        run before any span is open, e.g. untraced warm-up paths)."""
+        if ns <= 0:
+            return
+        rec: Optional[_OpenSpan] = None
+        if token is not None:
+            rec = self._open.get(token)
+        elif thread is not None:
+            stack = self._stacks.get(thread.tid)
+            if stack:
+                rec = stack[-1]
+        if rec is None:
+            return
+        if rec.waits is None:
+            rec.waits = {}
+        rec.waits[kind] = rec.waits.get(kind, 0) + int(ns)
 
     def _resolve(self, span_id: int, thread, parent) -> Tuple[int, int, int]:
         """Return (parent_id, trace_id, tid) for a new span."""
@@ -214,9 +265,14 @@ class Tracer:
                 f"ends before it starts: end_ns={end_ns} < "
                 f"start_ns={rec.start_ns}"
             )
+        attrs = rec.attrs
+        if rec.waits:
+            attrs = attrs + tuple(
+                (WAIT_PREFIX + kind, ns)
+                for kind, ns in sorted(rec.waits.items()))
         self.spans.append(Span(rec.category, rec.label, rec.start_ns,
                                end_ns, rec.span_id, rec.parent_id,
-                               rec.trace_id, rec.tid, rec.attrs))
+                               rec.trace_id, rec.tid, attrs))
 
     @contextmanager
     def span(self, category: str, label: str = "", *,

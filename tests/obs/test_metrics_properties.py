@@ -44,6 +44,57 @@ def test_percentile_within_one_bucket(values, pct):
     assert reported - exact <= max(1, exact >> h.sub_bits)
 
 
+@settings(deadline=None, max_examples=200)
+@given(samples, pcts)
+def test_quantile_bounds_bracket_exact_sample(values, pct):
+    h = Histogram("h")
+    h.record_many(values)
+    exact = int(exact_percentile(values, pct))
+    lower, upper = h.quantile_bounds(pct)
+    # The exact nearest-rank sample lies inside the reported bucket...
+    assert lower <= exact <= upper
+    # ...and the bucket is narrow enough for the <= 1/32 contract
+    # (sub_bits=5): width < lower / 2**sub_bits above the linear range.
+    assert upper - lower <= max(0, lower >> h.sub_bits)
+    # percentile() reports from the same bucket (clamped to max).
+    assert lower <= h.percentile(pct) <= upper
+
+
+@settings(deadline=None, max_examples=100)
+@given(samples, samples)
+def test_quantile_bounds_p999_relative_error_under_merge(left, right):
+    """The exemplar-threshold contract: after any merge, the p999
+    bucket's bounds stay within 1/32 relative error of the exact
+    nearest-rank p999 of the union."""
+    a = Histogram("a")
+    a.record_many(left)
+    b = Histogram("b")
+    b.record_many(right)
+    a.merge(b)
+    exact = int(exact_percentile(left + right, 99.9))
+    lower, upper = a.quantile_bounds(99.9)
+    assert lower <= exact <= upper
+    if exact > 0:
+        assert (exact - lower) / exact <= 1.0 / (1 << a.sub_bits)
+        assert (upper - exact) / exact <= 1.0 / (1 << a.sub_bits)
+
+
+def test_quantile_bounds_empty_and_edge():
+    h = Histogram("h")
+    with pytest.raises(ValueError, match="no samples"):
+        h.quantile_bounds(99.9)
+    h.record_many([7, 7, 7])
+    # Linear range: unit-width bucket, bounds are exact.
+    assert h.quantile_bounds(50) == (7, 7)
+    assert h.quantile_bounds(0) == (7, 7)
+    # Above the linear range the bucket brackets the sample but is
+    # NOT clamped to the observed max (thresholds need the raw lower).
+    big = Histogram("big")
+    big.record(1000)
+    lower, upper = big.quantile_bounds(99.9)
+    assert lower <= 1000 <= upper
+
+
 @settings(deadline=None, max_examples=100)
 @given(samples, samples)
 def test_merge_equals_union(left, right):

@@ -116,6 +116,7 @@ def test_recycled_events_never_alias_live_ones(phases, keep_tags):
     assert sim._pooling
     kept = {}
     tag = 0
+    recycled = False
     for delays, _bound in phases:
         for delay in delays:
             tag += 1
@@ -124,12 +125,17 @@ def test_recycled_events_never_alias_live_ones(phases, keep_tags):
                 kept[tag] = ev
             del ev      # only `kept` may hold references during run()
         sim.run()
+        # The pool is LIFO and later allocations drain it again, so a
+        # phase can end with an empty pool even though recycling
+        # happened (e.g. the last timeout drew the pooled object and
+        # was kept).  Record whether it was EVER non-empty.
+        recycled = recycled or bool(sim._pool_to)
         for want, ev in kept.items():
             assert ev.processed and ev._value == want
     # Steady-state traffic really does recycle (the pools are in use) —
     # unless this example posted only kept/no events.
     if tag and len(kept) < tag:
-        assert sim._pool_to, "no timeout was ever recycled"
+        assert recycled, "no timeout was ever recycled"
 
 
 def test_pooling_disabled_under_sanitize():

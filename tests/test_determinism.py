@@ -174,6 +174,53 @@ def test_monitoring_does_not_perturb_timeline():
         == tree_fingerprint(off.tracer.spans)
 
 
+def test_midrun_monitor_start_does_not_perturb_timeline():
+    """Starting the *first* observer process mid-run flips the engine
+    off its fast dispatch path (``_switch_to_instrumented``) while
+    events are already queued; the swap must be timeline-neutral:
+    same-seed runs with and without the late monitor stay byte
+    identical (modulo the monitor's own slo spans)."""
+    from repro.obs.monitor import Monitor
+
+    def once(late_monitor: bool):
+        m = Machine(capacity_bytes=1 * GiB, memory_bytes=256 << 20,
+                    capture_data=False, trace=True)
+        assert not m.sim._instrumented  # starts on the fast path
+        proc = m.spawn_process("app")
+        lib = m.userlib(proc)
+        t = proc.new_thread("app-0")
+        stamps = []
+
+        def body():
+            f = yield from lib.open(t, "/data", write=True, create=True)
+            yield from f.append(t, 16384, b"x" * 16384)
+            stamps.append(m.now)
+            for i in range(8):
+                if i == 3 and late_monitor:
+                    # First observer enters here, mid-run: the engine
+                    # switches dispatch paths under queued events.
+                    Monitor(m, MonitorConfig())
+                yield from f.pwrite(t, (i % 4) * 4096, 4096)
+                stamps.append(m.now)
+            yield from f.fsync(t)
+            stamps.append(m.now)
+
+        m.run_process(body())
+        if late_monitor:
+            assert m.sim._instrumented
+        return m, stamps
+
+    mon, mon_stamps = once(True)
+    off, off_stamps = once(False)
+    assert mon_stamps == off_stamps
+    assert mon.now == off.now
+    mon_spans = [s for s in mon.tracer.spans if s.category != "slo"]
+    assert tree_fingerprint(mon_spans) \
+        == tree_fingerprint(off.tracer.spans)
+    assert chrome_trace_json(mon_spans) \
+        == chrome_trace_json(off.tracer.spans)
+
+
 def test_two_tenant_telemetry_matches_golden():
     """The full telemetry dump — queue-depth series for both tenants'
     queue pairs plus the SLO breach record — is pinned byte for byte.
