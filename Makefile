@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint simlint-fix simlint-graph ruff mypy baseline perf-track perf-write perf-gate monitor-demo bench-fast bench-clean bench-timings bench-engine engine-diff chaos chaos-replay
+.PHONY: test lint simlint simlint-fix simlint-graph ruff mypy baseline perf-track perf-write perf-gate monitor-demo bench-fast bench-clean bench-timings bench-engine engine-diff chaos chaos-replay sweep-gate sweep-baseline sweep-timings
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,25 @@ perf-gate:
 	$(PYTHON) -m repro.bench all --jobs 1 --no-cache \
 	  --timings .perf-gate-timings.json > /dev/null
 	$(PYTHON) scripts/perf_gate.py .perf-gate-timings.json
+
+# metric regression gate: run the default sweep grid (cached) and
+# compare every cell against the committed sweep-baseline.json; a
+# regressed cell fails with the responsible layer named on stderr
+# (docs/sweeps.md)
+sweep-gate:
+	$(PYTHON) scripts/sweep_gate.py --jobs auto
+
+# refresh the committed per-cell baseline after an *intentional*
+# behaviour change; review the diff before committing
+sweep-baseline:
+	$(PYTHON) -m repro.sweep baseline --grid default --jobs 1 \
+	  --no-cache --out sweep-baseline.json
+
+# refresh the committed per-cell timing records ci_shard.py
+# --kind cells balances sweep shards with
+sweep-timings:
+	$(PYTHON) -m repro.sweep run --grid default --jobs 1 --no-cache \
+	  --timings sweep-timings.json --out /dev/null
 
 # hot-path ops/sec, overhauled engine vs the frozen reference
 bench-engine:

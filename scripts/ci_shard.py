@@ -1,21 +1,31 @@
 #!/usr/bin/env python3
-"""Partition the ``benchmarks/`` suite into balanced CI shards.
+"""Partition CI work into balanced shards by committed timings.
 
     python scripts/ci_shard.py --shards 2 --index 0
     python scripts/ci_shard.py --shards 2 --index 1 --format json
+    python scripts/ci_shard.py --shards 2 --index 0 --kind cells
 
-Prints the shard's test files (space separated by default) for a CI
-matrix job to hand straight to pytest.  Balancing weights come from the
-committed ``bench-timings.json`` (written by ``python -m repro.bench
-... --timings``): each benchmark file is matched to its experiment by
-name (``benchmarks/test_fig10_device_sharing.py`` → ``fig10``), files
-without a timing record get the median weight so new experiments are
-still distributed sensibly.
+Two kinds of work item:
 
-The partition is a deterministic longest-processing-time greedy: files
+- ``--kind files`` (default): the ``benchmarks/`` suite — prints the
+  shard's test files for a CI matrix job to hand straight to pytest.
+  Balancing weights come from the committed ``bench-timings.json``
+  (written by ``python -m repro.bench ... --timings``): each benchmark
+  file is matched to its experiment by name
+  (``benchmarks/test_fig10_device_sharing.py`` → ``fig10``), files
+  without a timing record get the median weight so new experiments
+  are still distributed sensibly.
+- ``--kind cells``: the sweep grid — prints the shard's grid cell ids
+  for ``python -m repro.sweep run --cell ... --cell ...``.  Weights
+  come from the committed ``sweep-timings.json`` (entries named
+  ``sweep/<cell>``); cells the timings file has never seen fall back
+  to the median cell weight, so shards stay balanced as the grid
+  grows.
+
+The partition is a deterministic longest-processing-time greedy: items
 sorted by (weight desc, name), each assigned to the currently lightest
-shard (ties to the lowest index).  Every file lands in exactly one
-shard, so N shard jobs cover the whole suite.
+shard (ties to the lowest index).  Every item lands in exactly one
+shard, so N shard jobs cover the whole work list.
 """
 
 from __future__ import annotations
@@ -33,6 +43,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs.timings import load_timings, timing_weights  # noqa: E402
 
 DEFAULT_TIMINGS = REPO_ROOT / "bench-timings.json"
+DEFAULT_SWEEP_TIMINGS = REPO_ROOT / "sweep-timings.json"
+DEFAULT_SWEEP_MANIFEST = REPO_ROOT / "sweep-manifest.json"
 _NAME_RE = re.compile(r"^test_([a-z0-9]+)")
 
 
@@ -50,12 +62,29 @@ def file_weights(files: List[Path],
             for f in files}
 
 
-def partition(files: List[Path], weights: Dict[Path, float],
-              shards: int) -> List[List[Path]]:
-    """Deterministic LPT greedy; returns ``shards`` file lists."""
-    bins: List[List[Path]] = [[] for _ in range(shards)]
+def cell_weights(cells: List[str],
+                 weights: Dict[str, float]) -> Dict[str, float]:
+    """Per-cell weights from ``sweep/<cell>`` timing entries; cells
+    without a committed record (new grid rows) get the median cell
+    weight so a growing grid still shards evenly."""
+    by_cell = {name[len("sweep/"):]: w for name, w in weights.items()
+               if name.startswith("sweep/")}
+    known = sorted(w for w in by_cell.values() if w > 0)
+    median = known[len(known) // 2] if known else 1.0
+    return {c: by_cell.get(c, median) or median for c in cells}
+
+
+def partition(files, weights, shards: int):
+    """Deterministic LPT greedy; returns ``shards`` item lists.
+
+    Items are benchmark file paths or sweep cell-id strings — anything
+    orderable whose name ``str()`` gives a stable tie-break.
+    """
+    bins = [[] for _ in range(shards)]
     loads = [0.0] * shards
-    for f in sorted(files, key=lambda f: (-weights[f], f.name)):
+    for f in sorted(files,
+                    key=lambda f: (-weights[f], getattr(f, "name",
+                                                        str(f)))):
         idx = min(range(shards), key=lambda i: (loads[i], i))
         bins[idx].append(f)
         loads[idx] += weights[f]
@@ -69,6 +98,16 @@ def main(argv=None) -> int:
     ap.add_argument("--timings", type=Path, default=DEFAULT_TIMINGS)
     ap.add_argument("--benchmarks-dir", type=Path,
                     default=REPO_ROOT / "benchmarks")
+    ap.add_argument("--kind", choices=("files", "cells"),
+                    default="files",
+                    help="what to shard: benchmark files (pytest) or "
+                         "sweep grid cells (repro.sweep run --cell)")
+    ap.add_argument("--sweep-manifest", type=Path,
+                    default=DEFAULT_SWEEP_MANIFEST)
+    ap.add_argument("--sweep-timings", type=Path,
+                    default=DEFAULT_SWEEP_TIMINGS)
+    ap.add_argument("--grid", default="default",
+                    help="sweep grid to shard (--kind cells)")
     ap.add_argument("--format", choices=("args", "json"), default="args")
     args = ap.parse_args(argv)
 
@@ -76,12 +115,37 @@ def main(argv=None) -> int:
         print(f"bad shard spec: index {args.index} of {args.shards}",
               file=sys.stderr)
         return 2
+
+    if args.kind == "cells":
+        from repro.sweep.grid import load_manifest
+        manifest = load_manifest(
+            args.sweep_manifest if args.sweep_manifest.exists()
+            else None)
+        cells = manifest.cells(args.grid)
+        weights: Dict[str, float] = {}
+        if args.sweep_timings.exists():
+            weights = timing_weights(load_timings(args.sweep_timings))
+        per_cell = cell_weights(cells, weights)
+        shard_cells = partition(cells, per_cell,
+                                args.shards)[args.index]
+        if args.format == "json":
+            print(json.dumps({
+                "shard": args.index,
+                "shards": args.shards,
+                "cells": shard_cells,
+                "weight_s": round(sum(per_cell[c]
+                                      for c in shard_cells), 2),
+            }, indent=2, sort_keys=True))
+        else:
+            print(" ".join(shard_cells))
+        return 0
+
     files = sorted(args.benchmarks_dir.glob("test_*.py"))
     if not files:
         print(f"no benchmark files under {args.benchmarks_dir}",
               file=sys.stderr)
         return 2
-    weights: Dict[str, float] = {}
+    weights = {}
     if args.timings.exists():
         weights = timing_weights(load_timings(args.timings))
     per_file = file_weights(files, weights)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""sweep_gate — fail CI when a sweep grid cell regresses.
+
+    python scripts/sweep_gate.py [--jobs auto] [--inject AXES:SPEC]
+
+The CI entry point for the scenario sweep gate: runs the manifest's
+grid through ``python -m repro.sweep gate`` with repo-root defaults
+for every artifact the dashboard consumes —
+
+- ``sweep-results.json``  — the run's per-cell records,
+- ``sweep-report.json``   — the compare report (``ci_summary.py
+  --sweep`` renders it into the merged job summary),
+- ``sweep-summary.md``    — the standalone heat table
+  (``$GITHUB_STEP_SUMMARY`` for the gate job itself),
+- ``sweep-timings-fresh.json`` — per-cell timings with cache flags.
+
+Exit status is the sweep CLI's: 0 clean, 1 when a cell is out of
+tolerance (the per-layer blame line goes to stderr), 2 when a cell
+fails to execute.  Compare verdicts come from metric tolerance bands
+(``repro.sweep.compare``), not wall time — wall-clock regressions are
+``perf_gate.py``'s job, and the two gates run as separate CI jobs so
+neither can mask the other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sweep.__main__ import main as sweep_main  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="sweep_gate", description=__doc__)
+    ap.add_argument("--manifest",
+                    default=str(REPO_ROOT / "sweep-manifest.json"))
+    ap.add_argument("--baseline",
+                    default=str(REPO_ROOT / "sweep-baseline.json"))
+    ap.add_argument("--grid", default="default")
+    ap.add_argument("--jobs", default="auto")
+    ap.add_argument("--cache", default=".bench-cache")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--inject", action="append", default=[],
+                    metavar="AXES:FAULTSPEC",
+                    help="seeded regression overlay (gate self-test)")
+    ap.add_argument("--out", default="sweep-results.json")
+    ap.add_argument("--report", default="sweep-report.json")
+    ap.add_argument("--markdown", default="sweep-summary.md")
+    ap.add_argument("--timings", default="sweep-timings-fresh.json")
+    args = ap.parse_args(argv)
+
+    forwarded = [
+        "--manifest", args.manifest,
+        "gate",
+        "--baseline", args.baseline,
+        "--grid", args.grid,
+        "--jobs", str(args.jobs),
+        "--cache", args.cache,
+        "--out", args.out,
+        "--report", args.report,
+        "--markdown", args.markdown,
+        "--timings", args.timings,
+    ]
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    for inject in args.inject:
+        forwarded += ["--inject", inject]
+    return sweep_main(forwarded)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -174,9 +174,14 @@ LAYERS: Tuple[Layer, ...] = (
     Layer("chaos", ("sim", "hw", "faults", "nvme", "fs", "kernel",
                     "core", "machine", "baselines", "obs"),
           "scenario fuzzing, executor, oracles, shrinker"),
+    Layer("sweep", ("sim", "hw", "faults", "nvme", "kernel", "machine",
+                    "obs", "apps", "core", "baselines", "bench"),
+          "declarative scenario grids over the experiment runner: "
+          "grid expansion, per-cell metric records, baseline compare "
+          "with obs.diff attribution"),
     Layer("root", ("sim", "hw", "faults", "nvme", "fs", "kernel",
                    "core", "machine", "baselines", "apps", "bench",
-                   "chaos", "obs", "analysis"),
+                   "chaos", "sweep", "obs", "analysis"),
           "the package façade (repro/__init__.py) re-exports the "
           "public API and may touch every layer"),
 )
@@ -267,6 +272,7 @@ _ASSIGNMENTS: Dict[str, str] = {
     "repro.apps": "apps",
     "repro.bench": "bench",
     "repro.chaos": "chaos",
+    "repro.sweep": "sweep",
 }
 
 

@@ -61,6 +61,11 @@ class FioResult:
     throughput: ThroughputCounter
     per_process_gbps: List[float] = field(default_factory=list)
     per_process_lat_us: List[float] = field(default_factory=list)
+    # Full per-process recorders (index = process), so multi-tenant
+    # consumers (repro.sweep) can read per-tenant percentiles, not
+    # just the mean.
+    per_process_latency: List[LatencyRecorder] = field(
+        default_factory=list)
 
     @property
     def mean_lat_us(self) -> float:
@@ -164,4 +169,5 @@ def run_fio(machine: Machine, job: FioJob) -> FioResult:
     for p in sorted(per_proc):
         result.per_process_gbps.append(per_proc[p].gbps)
         result.per_process_lat_us.append(per_proc_lat[p].mean_us)
+        result.per_process_latency.append(per_proc_lat[p])
     return result

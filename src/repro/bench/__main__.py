@@ -46,6 +46,11 @@ a same-seed run; one wall-clock total for scale).
 A failing experiment no longer takes the exit status down with it
 silently: every failure is reported on stderr, the remaining targets
 still run, and the process exits nonzero.
+
+Parameter *sweeps* — engine × workload × fault-plan grids with a
+baseline-compare gate and per-layer regression blame — live in the
+sibling CLI ``python -m repro.sweep`` (see docs/sweeps.md); its cells
+flow through this runner's cache and worker pool.
 """
 
 from __future__ import annotations

@@ -47,7 +47,7 @@ from contextlib import redirect_stdout
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
-from typing import Any, Callable, Dict, IO, List, Optional, Sequence
+from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
 from .. import machine as machine_mod
 from ..faults import (
@@ -79,6 +79,7 @@ __all__ = [
     "RunReport",
     "job_fingerprint",
     "job_seed",
+    "execute_jobs",
     "fan_out",
     "normalize_faults_spec",
     "profile_section",
@@ -91,7 +92,9 @@ __all__ = [
 ]
 
 # 2: job_config grew the "profile" key (host profiler pass).
-CACHE_SCHEMA = 2
+# 3: job_config grew the "params" key (sweep grid points — see
+#    repro.sweep; None for registry experiments).
+CACHE_SCHEMA = 3
 DEFAULT_CACHE_DIR = ".bench-cache"
 
 
@@ -195,14 +198,22 @@ def normalize_faults_spec(spec: Optional[str]) -> Optional[str]:
 
 
 def job_config(experiment: str, faults: Optional[str],
-               monitor: bool, profile: bool = False) -> Dict[str, Any]:
-    """The normalized configuration that keys the cache."""
+               monitor: bool, profile: bool = False,
+               params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The normalized configuration that keys the cache.
+
+    ``params`` carries a parameterized job's knobs (a sweep grid
+    point's engine/workload/fault axes); it is None for the fixed
+    registry experiments, and it participates in the fingerprint so
+    every grid point owns its own cache entry.
+    """
     return {
         "schema": CACHE_SCHEMA,
         "experiment": experiment,
         "faults": normalize_faults_spec(faults),
         "monitor": bool(monitor),
         "profile": bool(profile),
+        "params": params,
     }
 
 
@@ -568,6 +579,56 @@ def fan_out(worker: Callable[[Any], Any], payloads: Sequence[Any],
         return list(pool.map(worker, payloads))
 
 
+def execute_jobs(payloads: Sequence[Dict[str, Any]], *,
+                 worker: Callable[[Dict[str, Any]], Dict[str, Any]] = run_job,
+                 cache: Optional[ResultCache] = None,
+                 jobs: Any = 1,
+                 start_method: Optional[str] = None
+                 ) -> Tuple[List[JobResult], int]:
+    """Cache-aware fan-out: the orchestration core both the registry
+    runner and the sweep engine (:mod:`repro.sweep`) flow through.
+
+    Each payload is a job dict carrying at least ``experiment`` and
+    ``fingerprint``.  Fingerprints already in ``cache`` are served as
+    hits without touching a worker; misses run through ``worker`` —
+    in-process when serial, over a ``ProcessPoolExecutor`` otherwise.
+    Results come back in payload order regardless of worker
+    scheduling, so ``jobs=N`` is byte-identical to serial.  Returns
+    ``(results, n_workers)``; the caller decides what to persist
+    (only fresh, successful payloads belong in the cache).
+    """
+    results: Dict[int, JobResult] = {}
+    misses: List[int] = []
+    for idx, job in enumerate(payloads):
+        hit = cache.get(job["fingerprint"]) if cache is not None else None
+        if hit is not None:
+            results[idx] = JobResult(job["experiment"],
+                                     job["fingerprint"], hit, cached=True)
+        else:
+            misses.append(idx)
+
+    n_workers = min(resolve_jobs(jobs), max(1, len(misses)))
+    if misses:
+        if n_workers == 1:
+            for idx in misses:
+                payload = worker(payloads[idx])
+                results[idx] = JobResult(payloads[idx]["experiment"],
+                                         payload["fingerprint"],
+                                         payload, cached=False)
+        else:
+            ctx = get_context(start_method)
+            with ProcessPoolExecutor(max_workers=n_workers,
+                                     mp_context=ctx) as pool:
+                futures = [(idx, pool.submit(worker, payloads[idx]))
+                           for idx in misses]
+                for idx, future in futures:
+                    payload = future.result()
+                    results[idx] = JobResult(payloads[idx]["experiment"],
+                                             payload["fingerprint"],
+                                             payload, cached=False)
+    return [results[idx] for idx in range(len(payloads))], n_workers
+
+
 def run_experiments(names: Sequence[str], *,
                     jobs: int = 1,
                     cache_dir: Optional[os.PathLike] = None,
@@ -610,36 +671,12 @@ def run_experiments(names: Sequence[str], *,
             "seed": job_seed(fp),
         }
 
-    # Cache pass: anything already keyed by (tree, config) is a hit.
-    results: Dict[str, JobResult] = {}
-    misses: List[str] = []
-    for name in names:
-        job = jobs_by_name[name]
-        hit = cache.get(job["fingerprint"]) if cache is not None else None
-        if hit is not None:
-            results[name] = JobResult(name, job["fingerprint"], hit,
-                                      cached=True)
-        else:
-            misses.append(name)
-
-    # Execution pass: in-process when serial, pool when parallel.
-    n_workers = min(resolve_jobs(jobs), max(1, len(misses)))
-    if misses:
-        if n_workers == 1:
-            for name in misses:
-                payload = run_job(jobs_by_name[name])
-                results[name] = JobResult(name, payload["fingerprint"],
-                                          payload, cached=False)
-        else:
-            ctx = get_context(start_method)
-            with ProcessPoolExecutor(max_workers=n_workers,
-                                     mp_context=ctx) as pool:
-                futures = [(name, pool.submit(run_job, jobs_by_name[name]))
-                           for name in misses]
-                for name, future in futures:
-                    payload = future.result()
-                    results[name] = JobResult(name, payload["fingerprint"],
-                                              payload, cached=False)
+    # Cache and execution passes: the shared cache-aware fan-out.
+    ordered, n_workers = execute_jobs(
+        [jobs_by_name[name] for name in names],
+        worker=run_job, cache=cache, jobs=jobs,
+        start_method=start_method)
+    results: Dict[str, JobResult] = dict(zip(names, ordered))
 
     # Merge pass: request order, byte-identical regardless of jobs.
     for name in names:

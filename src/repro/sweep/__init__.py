@@ -1,0 +1,40 @@
+"""Scenario sweep engine: declarative grids over the experiment runner.
+
+``python -m repro.sweep`` expands a manifest's parameter grid (engine
+x workload x fault plan) into jobs on the parallel bench runner,
+records per-cell latency/throughput/fault metrics with a wait-
+annotated trace dump, and diffs runs against a committed baseline with
+per-layer regression blame.  See ``docs/sweeps.md``.
+"""
+
+from .compare import (
+    baseline_from_results,
+    compare_results,
+    render_markdown,
+    render_text,
+    resolve_tolerances,
+)
+from .grid import (
+    GridPoint,
+    Injection,
+    SweepManifest,
+    load_manifest,
+    parse_injection,
+)
+from .jobs import SWEEP_SLOS, build_job, run_sweep_point
+
+__all__ = [
+    "GridPoint",
+    "Injection",
+    "SweepManifest",
+    "SWEEP_SLOS",
+    "baseline_from_results",
+    "build_job",
+    "compare_results",
+    "load_manifest",
+    "parse_injection",
+    "render_markdown",
+    "render_text",
+    "resolve_tolerances",
+    "run_sweep_point",
+]

@@ -78,6 +78,55 @@ class TestShardPartition:
         assert ci_shard.main(["--shards", "2", "--index", "2"]) == 2
 
 
+class TestShardCells:
+    def sweep_timings(self, tmp_path, cells, wall_s):
+        return timings_file(tmp_path, [
+            {"experiment": f"sweep/{c}", "wall_s": w, "sim_time_ns": 1,
+             "machines": 1, "cached": False, "ok": True}
+            for c, w in zip(cells, wall_s)])
+
+    def test_cell_weights_strip_prefix_and_fall_back_to_median(self):
+        weights = {"sweep/a": 1.0, "sweep/b": 3.0, "sweep/c": 5.0,
+                   "fig6": 100.0}
+        per_cell = ci_shard.cell_weights(["a", "b", "c", "new"], weights)
+        assert per_cell["a"] == 1.0 and per_cell["c"] == 5.0
+        # Unseen cell gets the median of known *cell* weights; registry
+        # experiment entries never leak in.
+        assert per_cell["new"] == 3.0
+
+    def test_every_default_grid_cell_lands_in_exactly_one_shard(self):
+        from repro.sweep.grid import SweepManifest
+        cells = SweepManifest.builtin().cells("default")
+        per_cell = ci_shard.cell_weights(cells, {})
+        shards = ci_shard.partition(cells, per_cell, 3)
+        combined = sorted(c for shard in shards for c in shard)
+        assert combined == sorted(cells)
+
+    def test_cli_cells_json_format(self, tmp_path, capsys):
+        from repro.sweep.grid import SweepManifest
+        cells = SweepManifest.builtin().cells("default")
+        timings = self.sweep_timings(tmp_path, cells,
+                                     range(1, len(cells) + 1))
+        rc = ci_shard.main(["--shards", "2", "--index", "1",
+                            "--kind", "cells",
+                            "--sweep-timings", str(timings),
+                            "--format", "json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["shards"] == 2 and data["shard"] == 1
+        assert data["cells"]
+        assert all(c in cells for c in data["cells"])
+        assert data["weight_s"] > 0
+
+    def test_cli_cells_args_format_is_space_separated(self, capsys):
+        rc = ci_shard.main(["--shards", "1", "--index", "0",
+                            "--kind", "cells"])
+        assert rc == 0
+        out = capsys.readouterr().out.strip()
+        from repro.sweep.grid import SweepManifest
+        assert out.split(" ") == SweepManifest.builtin().cells("default")
+
+
 class TestSummary:
     JUNIT = ('<testsuites><testsuite tests="3" failures="1" errors="0" '
              'skipped="0" time="4.5">'
@@ -156,6 +205,40 @@ class TestSummary:
         assert "new violations: 3" in out
         assert "burn-down backlog): 10" in out
         assert "| SIM016 | 2 |" in out
+
+    def test_sweep_section_renders_heat_table_and_blame(
+            self, tmp_path, capsys):
+        from repro.sweep import compare as cmp_mod
+        rec = {"metrics": {"p99_ns": 9000.0}, "tenants": []}
+        bad = {"metrics": {"p99_ns": 90000.0}, "tenants": []}
+        report = cmp_mod.compare_results(
+            {"grid": "default",
+             "cells": {"engine=bypassd/wl=rr/faults=none": rec,
+                       "engine=sync/wl=rr/faults=none": rec}},
+            {"grid": "default",
+             "cells": {"engine=bypassd/wl=rr/faults=none": bad,
+                       "engine=sync/wl=rr/faults=none": rec}})
+        (tmp_path / "bench-shard0.xml").write_text(self.JUNIT)
+        path = tmp_path / "sweep-report.json"
+        path.write_text(json.dumps(report))
+        rc = ci_summary.main([str(tmp_path / "bench-shard0.xml"),
+                              "--sweep", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "### Sweep grid `default`" in out
+        assert "| workload / faults | bypassd | sync |" in out
+        assert "**REGRESSED (p99_ns" in out
+        assert "per-layer blame" in out
+
+    def test_sweep_section_tolerates_broken_report(self, tmp_path,
+                                                   capsys):
+        (tmp_path / "bench-shard0.xml").write_text(self.JUNIT)
+        path = tmp_path / "sweep-report.json"
+        path.write_text("{not json")
+        rc = ci_summary.main([str(tmp_path / "bench-shard0.xml"),
+                              "--sweep", str(path)])
+        assert rc == 0
+        assert "could not read sweep report" in capsys.readouterr().out
 
     def test_lint_section_tolerates_broken_report(self, tmp_path, capsys):
         (tmp_path / "bench-shard0.xml").write_text(self.JUNIT)

@@ -1,0 +1,173 @@
+"""Subprocess tests for ``python -m repro.sweep`` and the gate.
+
+One module-scoped workspace: a tiny manifest, a committed-style
+baseline, and a warm result cache.  The gate tests then pin the two
+CI-visible behaviours — a clean warm-cache sweep executes zero
+simulations and exits 0; a seeded regression exits 1 with the
+per-layer blame on stderr — plus the determinism contract that
+``--jobs auto`` is byte-identical to serial, baseline compare
+included.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+MANIFEST = {
+    "schema": 1,
+    "workloads": {
+        "rr": {"kind": "fio", "rw": "randread", "block_size": 4096,
+               "tenants": 1, "ops": 24, "file_mib": 2, "seed": 42},
+        "rw2": {"kind": "fio", "rw": "randwrite", "block_size": 4096,
+                "tenants": 2, "ops": 8, "file_mib": 2, "seed": 42},
+    },
+    "faults": {"none": None,
+               "media-retry": "seed=7,media_read_error_nth=12"},
+    "grids": {
+        "default": {
+            "engines": ["bypassd", "sync"],
+            "workloads": ["rr", "rw2"],
+            "faults": ["none", "media-retry"],
+        },
+    },
+    "tolerances": {},
+}
+
+INJECT = "engine=bypassd,workload=rr,faults=none:" \
+         "seed=7,media_read_error_nth=12"
+
+
+def sweep(ws, *args):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.sweep",
+         "--manifest", str(ws / "manifest.json"), *args],
+        capture_output=True, text=True, env=env, cwd=ws, timeout=300)
+
+
+@pytest.fixture(scope="module")
+def ws(tmp_path_factory):
+    """Workspace with manifest, baseline, and a warm cache."""
+    ws = tmp_path_factory.mktemp("sweep-cli")
+    (ws / "manifest.json").write_text(json.dumps(MANIFEST))
+    proc = sweep(ws, "baseline", "--out", "baseline.json",
+                 "--cache", "cache")
+    assert proc.returncode == 0, proc.stderr
+    assert (ws / "baseline.json").exists()
+    return ws
+
+
+class TestGate:
+    def test_clean_warm_cache_passes_with_zero_executed(self, ws):
+        proc = sweep(ws, "gate", "--baseline", "baseline.json",
+                     "--cache", "cache", "--jobs", "auto")
+        assert proc.returncode == 0, proc.stderr
+        # Every cell replays from the cache the baseline run warmed.
+        assert "8 cells, 8 cached, 0 executed" in proc.stderr
+        assert "8 cells — 8 ok" in proc.stdout
+
+    def test_seeded_regression_fails_with_blame_on_stderr(self, ws):
+        proc = sweep(ws, "gate", "--baseline", "baseline.json",
+                     "--cache", "cache", "--inject", INJECT,
+                     "--report", "report.json")
+        assert proc.returncode == 1
+        err = proc.stderr
+        assert "engine=bypassd/wl=rr/faults=none: REGRESSED" in err
+        assert "retry" in err, "per-layer blame missing from stderr"
+        report = json.loads((ws / "report.json").read_text())
+        cell = report["cells"]["engine=bypassd/wl=rr/faults=none"]
+        blame = cell["attribution"]["blame"]
+        assert blame["layer"] == "retry"
+        assert blame["share_of_delta"] >= 0.90
+        # The other seven cells are untouched by the injection.
+        assert report["summary"]["ok"] == 7
+
+    def test_injected_cell_is_not_served_from_warm_cache(self, ws):
+        # A spec this workspace has never executed: the injection must
+        # change the cell's fingerprint, so the warm cache serves the
+        # other 7 cells but can't serve a stale result for this one.
+        fresh_inject = ("engine=bypassd,workload=rr,faults=none:"
+                        "seed=7,media_read_error_nth=13")
+        proc = sweep(ws, "gate", "--baseline", "baseline.json",
+                     "--cache", "cache", "--inject", fresh_inject)
+        assert proc.returncode == 1
+        assert "8 cells, 7 cached, 1 executed" in proc.stderr
+
+    def test_missing_baseline_cell_fails_gate(self, ws):
+        partial = {"schema": 1, "grid": "default", "cells": {}}
+        base = json.loads((ws / "baseline.json").read_text())
+        partial["cells"] = dict(base["cells"])
+        partial["cells"]["engine=ghost/wl=rr/faults=none"] = \
+            next(iter(base["cells"].values()))
+        (ws / "baseline-extra.json").write_text(json.dumps(partial))
+        proc = sweep(ws, "gate", "--baseline", "baseline-extra.json",
+                     "--cache", "cache")
+        assert proc.returncode == 1
+        assert "MISSING" in proc.stderr
+
+
+class TestDeterminism:
+    def test_jobs_auto_byte_identical_to_serial(self, ws):
+        ser = sweep(ws, "run", "--jobs", "1", "--no-cache",
+                    "--out", "ser.json")
+        par = sweep(ws, "run", "--jobs", "auto", "--no-cache",
+                    "--out", "par.json")
+        assert ser.returncode == 0 and par.returncode == 0
+        assert (ws / "ser.json").read_bytes() == \
+            (ws / "par.json").read_bytes()
+
+    def test_fresh_run_matches_cached_replay(self, ws):
+        cached = sweep(ws, "run", "--cache", "cache",
+                       "--out", "cached.json")
+        assert cached.returncode == 0
+        assert (ws / "cached.json").read_bytes() == \
+            (ws / "ser.json").read_bytes()
+
+    def test_baseline_compare_output_is_identical(self, ws):
+        a = sweep(ws, "compare", "--baseline", "baseline.json",
+                  "--results", "ser.json")
+        b = sweep(ws, "compare", "--baseline", "baseline.json",
+                  "--results", "par.json")
+        assert a.returncode == 0 and b.returncode == 0
+        assert a.stdout == b.stdout
+        assert "8 cells — 8 ok" in a.stdout
+
+
+class TestCLI:
+    def test_list_shows_grid_cells(self, ws):
+        proc = sweep(ws, "list")
+        assert proc.returncode == 0
+        assert "default: 8 cells" in proc.stdout
+        assert "engine=sync/wl=rw2/faults=media-retry" in proc.stdout
+
+    def test_cell_subset_runs_only_those_cells(self, ws):
+        proc = sweep(ws, "run", "--cache", "cache",
+                     "--cell", "engine=sync/wl=rr/faults=none",
+                     "--out", "one.json")
+        assert proc.returncode == 0
+        data = json.loads((ws / "one.json").read_text())
+        assert list(data["cells"]) == ["engine=sync/wl=rr/faults=none"]
+
+    def test_unknown_cell_is_an_error(self, ws):
+        proc = sweep(ws, "run", "--cell", "engine=ghost/wl=rr/faults=none")
+        assert proc.returncode != 0
+
+    def test_baseline_from_wider_results_filters_to_grid(self, ws):
+        proc = sweep(ws, "baseline", "--from-results", "ser.json",
+                     "--out", "refreshed.json")
+        assert proc.returncode == 0, proc.stderr
+        refreshed = json.loads((ws / "refreshed.json").read_text())
+        baseline = json.loads((ws / "baseline.json").read_text())
+        assert refreshed == baseline
+
+    def test_baseline_from_results_missing_cells_errors(self, ws):
+        proc = sweep(ws, "baseline", "--from-results", "one.json",
+                     "--out", "bad.json")
+        assert proc.returncode == 2
+        assert "missing grid cells" in proc.stderr
